@@ -1,0 +1,17 @@
+"""Figure 2 bench: IMC vs ODC execution-time variance vs input size.
+
+Paper: Spark-KM Tvar grows 2.6x (input doubles), Spark-PR 4.3x;
+Hadoop-KM 0.97x, Hadoop-PR 1.76x.  Reproduced claim: every Spark growth
+ratio exceeds the matching Hadoop ratio.
+"""
+
+from conftest import report
+
+from repro.experiments import fig02_sensitivity
+from repro.experiments.common import FAST
+
+
+def test_fig02_sensitivity(benchmark, once):
+    result = benchmark.pedantic(fig02_sensitivity.run, args=(FAST,), **once)
+    report(result.render())
+    assert result.imc_more_sensitive

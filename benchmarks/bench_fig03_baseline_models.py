@@ -1,0 +1,17 @@
+"""Figure 3 bench: prediction errors of the RS/ANN/SVM/RF baselines.
+
+Paper averages: RS 23%, ANN 27%, SVM 14%, RF 18% — all too inaccurate
+to drive search.  Reproduced claim: every baseline leaves double-digit
+average error on the 41-param + datasize problem.
+"""
+
+from conftest import report
+
+from repro.experiments import fig03_baseline_errors
+from repro.experiments.common import FAST
+
+
+def test_fig03_baseline_models(benchmark, once):
+    result = benchmark.pedantic(fig03_baseline_errors.run, args=(FAST,), **once)
+    report(fig03_baseline_errors.render(result))
+    assert all(result.average(m) > 0.10 for m in result.models)

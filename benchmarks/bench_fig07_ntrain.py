@@ -1,0 +1,17 @@
+"""Figure 7 bench: model error vs training-set size.
+
+Paper: min/mean/max error curves fall as ntrain grows and flatten near
+2000 examples.  Reproduced claim: the mean-error curve is improving
+from the smallest to the largest training-set size.
+"""
+
+from conftest import report
+
+from repro.experiments import fig07_ntrain
+from repro.experiments.common import FAST
+
+
+def test_fig07_ntrain(benchmark, once):
+    result = benchmark.pedantic(fig07_ntrain.run, args=(FAST,), **once)
+    report(result.render())
+    assert result.is_improving

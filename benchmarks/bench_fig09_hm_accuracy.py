@@ -1,0 +1,16 @@
+"""Figure 9 bench: HM vs the four baselines across all six programs.
+
+Paper: HM averages 7.6% error vs RS 22%, ANN 30%, SVM 15%, RF 19%.
+Reproduced claim: HM's average error beats every baseline's.
+"""
+
+from conftest import report
+
+from repro.experiments import fig09_hm_accuracy
+from repro.experiments.common import FAST
+
+
+def test_fig09_hm_accuracy(benchmark, once):
+    result = benchmark.pedantic(fig09_hm_accuracy.run, args=(FAST,), **once)
+    report(fig09_hm_accuracy.render(result))
+    assert fig09_hm_accuracy.hm_wins(result)

@@ -1,0 +1,20 @@
+"""Figure 10 bench: predicted-vs-measured scatter for PR and TS.
+
+Paper: 200 random configurations hug the bisector with few outliers.
+Reproduced claim: strong log-space correlation and a majority of points
+within 30% of the bisector.
+"""
+
+from conftest import report
+
+from repro.experiments import fig10_scatter
+from repro.experiments.common import FAST
+
+
+def test_fig10_scatter(benchmark, once):
+    result = benchmark.pedantic(
+        fig10_scatter.run, args=(FAST,), kwargs={"n_points": 150}, **once
+    )
+    report(result.render())
+    for series in result.series.values():
+        assert series.log_correlation() > 0.6

@@ -1,0 +1,16 @@
+"""Figure 11 bench: GA convergence iterations per program.
+
+Paper: 48-64 iterations suffice, varying by program.  Reproduced claim:
+every program's search converges within the budgeted generations.
+"""
+
+from conftest import report
+
+from repro.experiments import fig11_ga_convergence
+from repro.experiments.common import FAST
+
+
+def test_fig11_ga_convergence(benchmark, once):
+    result = benchmark.pedantic(fig11_ga_convergence.run, args=(FAST,), **once)
+    report(result.render())
+    assert result.all_converged_quickly

@@ -1,0 +1,20 @@
+"""Figure 12 bench: DAC speedups over default / RFHOC / expert.
+
+Paper: 30.4x average (up to 89x) over defaults, 15.4x geomean; 1.5x
+geomean over RFHOC; 2.3x geomean over expert.  Reproduced claims: DAC
+beats the default on all 30 program-input pairs; aggregate speedups
+land in the paper's regime (who-wins ordering preserved).
+"""
+
+from conftest import report
+
+from repro.experiments import fig12_speedup
+from repro.experiments.common import FAST
+
+
+def test_fig12_speedup(benchmark, once):
+    result = benchmark.pedantic(fig12_speedup.run, args=(FAST,), **once)
+    report(result.render())
+    assert all(cell.vs_default > 1.0 for cell in result.cells)
+    assert result.mean_speedup("default") > 5.0
+    assert result.geomean_speedup("expert") > 1.0

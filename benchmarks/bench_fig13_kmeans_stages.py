@@ -1,0 +1,22 @@
+"""Figure 13 bench: KMeans per-stage times and GC by configuration.
+
+Paper: StageC (iterative aggregate/collect) dominates; DAC and RFHOC
+both crush the default, with DAC pulling ahead at large inputs; DAC's
+GC time is far below default's.  Reproduced claims: same dominance and
+GC ordering.
+"""
+
+from conftest import report
+
+from repro.experiments import fig13_kmeans_stages
+from repro.experiments.common import FAST
+
+
+def test_fig13_kmeans_stages(benchmark, once):
+    result = benchmark.pedantic(fig13_kmeans_stages.run, args=(FAST,), **once)
+    report(result.render())
+    largest = result.sizes[-1]
+    assert result.dominant_stage("default", largest) == "stageC-iterate"
+    for size in result.sizes:
+        assert result.total("DAC", size) < result.total("default", size)
+        assert result.gc_seconds[("DAC", size)] < result.gc_seconds[("default", size)]

@@ -1,0 +1,24 @@
+"""Figure 14 bench: TeraSort Stage2 time and GC by configuration.
+
+Paper: Stage2 takes ~90% of the runtime; default >> RFHOC > DAC with
+the gap widening as inputs grow, driven by GC; DAC's GC grows more
+slowly with input size than default's.  Reproduced claims: stage2
+dominance, DAC < default on stage2 everywhere, slower DAC GC growth.
+"""
+
+from conftest import report
+
+from repro.experiments import fig14_terasort_stage2
+from repro.experiments.common import FAST
+
+
+def test_fig14_terasort_stage2(benchmark, once):
+    result = benchmark.pedantic(fig14_terasort_stage2.run, args=(FAST,), **once)
+    report(result.render())
+    for size in result.sizes:
+        assert result.stage2_seconds[("DAC", size)] < result.stage2_seconds[
+            ("default", size)
+        ]
+    assert result.absolute_increase(
+        "DAC", result.gc_seconds
+    ) < result.absolute_increase("default", result.gc_seconds)

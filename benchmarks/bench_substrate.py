@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the substrates: simulator, models, GA throughput.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+quantifying why model-driven search is feasible at all — Section 5.5's
+point that one simulated/predicted evaluation costs milliseconds while
+a real execution costs minutes.
+"""
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.core.ga import GeneticAlgorithm
+from repro.models import GradientBoostedTrees, RandomForest
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.simulator import SparkSimulator
+from repro.workloads import get_workload
+
+
+def test_simulator_single_run(benchmark):
+    """One simulated TeraSort execution (the collecting component's unit)."""
+    simulator = SparkSimulator()
+    job = get_workload("TS").job(30.0)
+    config = SPARK_CONF_SPACE.default()
+    result = benchmark(simulator.run, job, config)
+    assert result.seconds > 0
+
+
+def test_simulator_random_config_run(benchmark):
+    simulator = SparkSimulator()
+    job = get_workload("KM").job(224.0)
+    rng = derive_rng("bench-sim")
+    configs = [SPARK_CONF_SPACE.random(rng) for _ in range(64)]
+    it = iter(range(10**9))
+
+    def run_one():
+        return simulator.run(job, configs[next(it) % len(configs)])
+
+    assert benchmark(run_one).seconds > 0
+
+
+def test_gbt_fit_500x42(benchmark):
+    """Fitting one HM first-order component at FAST scale."""
+    rng = np.random.default_rng(0)
+    X = rng.random((500, 42))
+    y = rng.random(500)
+
+    def fit():
+        return GradientBoostedTrees(n_trees=100, learning_rate=0.1).fit(X, y)
+
+    model = benchmark(fit)
+    assert model.n_trees_fitted <= 100
+
+
+def test_model_predict_throughput(benchmark):
+    """Model queries must be >> faster than real runs (Section 5.5)."""
+    rng = np.random.default_rng(1)
+    X = rng.random((500, 42))
+    y = rng.random(500)
+    model = GradientBoostedTrees(n_trees=100, learning_rate=0.1).fit(X, y)
+    batch = rng.random((1000, 42))
+    pred = benchmark(model.predict, batch)
+    assert pred.shape == (1000,)
+
+
+def test_rf_fit_500x41(benchmark):
+    rng = np.random.default_rng(2)
+    X = rng.random((500, 41))
+    y = rng.random(500)
+    model = benchmark(lambda: RandomForest(n_trees=40).fit(X, y))
+    assert len(model._trees) == 40
+
+
+def test_ga_generation_throughput(benchmark):
+    """One full GA search over the 41-dim space with a cheap objective."""
+    ga = GeneticAlgorithm(SPARK_CONF_SPACE, population_size=60)
+    weights = np.linspace(0.1, 1.0, 41)
+
+    def search():
+        return ga.minimize(
+            lambda pop: pop @ weights,
+            derive_rng("bench-ga"),
+            generations=50,
+            patience=None,
+        )
+
+    result = benchmark(search)
+    assert result.best_fitness >= 0.0

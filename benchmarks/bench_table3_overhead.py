@@ -1,0 +1,17 @@
+"""Table 3 bench: DAC's one-time costs per program.
+
+Paper: collecting 53-92 cluster-hours dominates; modeling ~9-12 s;
+searching 7-10 min.  Reproduced claim: collecting (simulated cluster
+hours) dwarfs the modeling+searching wall-clock costs.
+"""
+
+from conftest import report
+
+from repro.experiments import table3_overhead
+from repro.experiments.common import FAST
+
+
+def test_table3_overhead(benchmark, once):
+    result = benchmark.pedantic(table3_overhead.run, args=(FAST,), **once)
+    report(result.render())
+    assert result.collecting_dominates

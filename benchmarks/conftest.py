@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Each ``bench_fig*.py``/``bench_table*.py`` regenerates one table or
+figure of the paper at FAST scale and prints the reproduced rows, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report.  Heavy experiments run a single round; substrate
+micro-benchmarks use pytest-benchmark's default calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(text: str) -> None:
+    """Print a reproduced table under the benchmark output."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def once():
+    """Pedantic single-round settings for heavy experiment benchmarks."""
+    return dict(rounds=1, iterations=1, warmup_rounds=0)

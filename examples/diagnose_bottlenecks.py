@@ -1,0 +1,52 @@
+"""Read a run like a performance engineer: reports and comparisons.
+
+The paper's Section 5.8 dissects KMeans and TeraSort by stage and GC
+time to explain *why* DAC wins.  This example automates that reading:
+run TeraSort under the defaults, the expert rules and a DAC-style
+configuration, print each run's report with its bottleneck verdict, and
+finish with the side-by-side comparison the figures are built from.
+
+    python examples/diagnose_bottlenecks.py
+"""
+
+from repro import SparkSimulator, default_configuration, get_workload
+from repro.core.expert import ExpertTuner
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.report import compare_runs, render_run_report
+
+
+def main() -> None:
+    workload = get_workload("TS")
+    size = 40.0
+    job = workload.job(size)
+    simulator = SparkSimulator()
+
+    runs = {
+        "defaults": simulator.run(job, default_configuration()),
+        "expert": simulator.run(job, ExpertTuner(PAPER_CLUSTER).tune()),
+        "DAC-style": simulator.run(
+            job,
+            SPARK_CONF_SPACE.from_dict(
+                {
+                    "spark.executor.memory": 12288,
+                    "spark.executor.cores": 1,
+                    "spark.serializer": "kryo",
+                    "spark.default.parallelism": 50,
+                    "spark.memory.fraction": 0.9,
+                    "spark.io.compression.codec": "lz4",
+                }
+            ),
+        ),
+    }
+
+    for label, result in runs.items():
+        print(render_run_report(result, title=f"TeraSort {size:.0f} GB — {label}"))
+        print()
+
+    print(compare_runs(runs["defaults"], runs["DAC-style"],
+                       labels=("defaults", "DAC-style")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: auto-tune TeraSort on the simulated cluster with DAC.
+
+Runs the full pipeline at a small scale (~1 minute): collect training
+executions, fit the Hierarchical Model, search with the GA, and verify
+the found configuration by actually executing it — against the Spark
+defaults and the expert rule-book.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    DacTuner,
+    ExpertTuner,
+    SparkSimulator,
+    default_configuration,
+    get_workload,
+)
+from repro.common.units import fmt_duration
+from repro.sparksim.cluster import PAPER_CLUSTER
+
+
+def main() -> None:
+    workload = get_workload("TS")  # TeraSort, Table 1
+    target_size = 30.0  # GB
+
+    print(f"Tuning {workload.name} for a {target_size:.0f} GB input ...")
+    tuner = DacTuner(workload, n_train=500, n_trees=250, learning_rate=0.1)
+    tuner.collect()
+    tuner.fit()
+    print(
+        f"  model holdout error: {tuner.model.holdout_error_ * 100:.1f}% "
+        f"(order-{tuner.model.order_} HM)"
+    )
+
+    report = tuner.tune(target_size)
+    print(f"  GA converged at generation {report.ga.converged_at}")
+    print(f"  predicted execution time: {fmt_duration(report.predicted_seconds)}")
+
+    # Verify by real (simulated) execution.
+    simulator = SparkSimulator()
+    job = workload.job(target_size)
+    dac_run = simulator.run(job, report.configuration)
+    default_run = simulator.run(job, default_configuration())
+    expert_run = simulator.run(job, ExpertTuner(PAPER_CLUSTER).tune())
+
+    print("\nMeasured execution times:")
+    print(f"  DAC     : {fmt_duration(dac_run.seconds)}")
+    print(f"  expert  : {fmt_duration(expert_run.seconds)}  "
+          f"({expert_run.seconds / dac_run.seconds:.2f}x slower)")
+    print(f"  default : {fmt_duration(default_run.seconds)}  "
+          f"({default_run.seconds / dac_run.seconds:.1f}x slower)")
+
+    print("\nKey knobs DAC chose:")
+    for name in (
+        "spark.executor.memory",
+        "spark.executor.cores",
+        "spark.default.parallelism",
+        "spark.serializer",
+        "spark.memory.fraction",
+        "spark.io.compression.codec",
+    ):
+        print(f"  {name:32s} = {report.configuration[name]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — reproduction of DAC (ASPLOS'18).
+
+"Datasize-Aware High Dimensional Configurations Auto-Tuning of In-Memory
+Cluster Computing" (Yu, Bei, Qian), rebuilt as a self-contained Python
+library: a Spark-1.6 cluster simulator substrate, the six HiBench-style
+evaluation workloads, from-scratch performance-model learners, and the
+DAC tuner (Hierarchical Modeling + Genetic Algorithm) with its
+baselines.
+
+Quickstart::
+
+    from repro import DacTuner, SparkSimulator, get_workload
+
+    workload = get_workload("TS")         # TeraSort
+    tuner = DacTuner(workload)            # fast-scale defaults
+    tuner.collect()                       # run the collecting component
+    tuner.fit()                           # train the HM model
+    report = tuner.tune(datasize=30.0)    # 30 GB target input
+
+    sim = SparkSimulator()
+    result = sim.run(workload.job(30.0), report.configuration)
+    print(result.seconds)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    Collector,
+    DacTuner,
+    ExpertTuner,
+    GeneticAlgorithm,
+    RfhocTuner,
+    TrainingSet,
+    TuningReport,
+    default_configuration,
+)
+from repro.models import HierarchicalModel
+from repro.odc import OdcSimulator
+from repro.sparksim import (
+    ClusterSpec,
+    SPARK_CONF_SPACE,
+    SparkConf,
+    SparkSimulator,
+)
+from repro.workloads import ALL_WORKLOADS, Workload, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ClusterSpec",
+    "Collector",
+    "DacTuner",
+    "ExpertTuner",
+    "GeneticAlgorithm",
+    "HierarchicalModel",
+    "OdcSimulator",
+    "RfhocTuner",
+    "SPARK_CONF_SPACE",
+    "SparkConf",
+    "SparkSimulator",
+    "TrainingSet",
+    "TuningReport",
+    "Workload",
+    "default_configuration",
+    "get_workload",
+]

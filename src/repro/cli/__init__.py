@@ -1,0 +1,17 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's workflow:
+
+* ``tune``      — full DAC pipeline for one program/size, optionally
+  writing ``spark-dac.conf`` (Section 3.4's artifact);
+* ``collect``   — run only the collecting component, saving the CSV
+  training set the paper's R pipeline would produce;
+* ``run``       — execute one program under a configuration file (or
+  the defaults/expert rules) on the simulator;
+* ``experiment``— regenerate one of the paper's figures/tables;
+* ``workloads`` — list the Table-1 programs and their evaluation sizes.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,163 @@
+"""Implementations of the CLI commands."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.common.units import fmt_bytes, fmt_duration
+from repro.core.baselines import default_configuration
+from repro.core.collecting import Collector
+from repro.core.expert import ExpertTuner
+from repro.core.tuner import DacTuner
+from repro.io import (
+    format_spark_submit,
+    load_spark_conf,
+    save_spark_conf,
+    save_training_set,
+)
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.simulator import SparkSimulator
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+#: Experiment registry: name -> (module, render callable).
+def _experiment_registry() -> Dict[str, Callable]:
+    from repro.experiments import (
+        ablation_datasize,
+        ablation_hm_order,
+        ablation_search,
+        fig02_sensitivity,
+        fig03_baseline_errors,
+        fig07_ntrain,
+        fig08_hm_params,
+        fig09_hm_accuracy,
+        fig10_scatter,
+        fig11_ga_convergence,
+        fig12_speedup,
+        fig13_kmeans_stages,
+        fig14_terasort_stage2,
+        table3_overhead,
+    )
+
+    return {
+        "fig2": lambda s: fig02_sensitivity.run(s).render(),
+        "fig3": lambda s: fig03_baseline_errors.render(fig03_baseline_errors.run(s)),
+        "fig7": lambda s: fig07_ntrain.run(s).render(),
+        "fig8": lambda s: fig08_hm_params.run(s).render(),
+        "fig9": lambda s: fig09_hm_accuracy.render(fig09_hm_accuracy.run(s)),
+        "fig10": lambda s: fig10_scatter.run(s).render(),
+        "fig11": lambda s: fig11_ga_convergence.run(s).render(),
+        "fig12": lambda s: fig12_speedup.run(s).render(),
+        "fig13": lambda s: fig13_kmeans_stages.run(s).render(),
+        "fig14": lambda s: fig14_terasort_stage2.run(s).render(),
+        "table3": lambda s: table3_overhead.run(s).render(),
+        "ablation-datasize": lambda s: ablation_datasize.run(s).render(),
+        "ablation-search": lambda s: ablation_search.run(s).render(),
+        "ablation-hm-order": lambda s: ablation_hm_order.run(s).render(),
+    }
+
+
+EXPERIMENTS = tuple(_experiment_registry())
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    workload = get_workload(args.program)
+    print(f"Tuning {workload.name} for size {args.size} {workload.unit} ...")
+    tuner = DacTuner(
+        workload,
+        n_train=args.train,
+        n_trees=args.trees,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+    tuner.collect()
+    tuner.fit()
+    print(f"  model holdout error: {tuner.model.holdout_error_ * 100:.1f}%")
+    report = tuner.tune(args.size, generations=args.generations)
+    print(f"  GA converged at generation {report.ga.converged_at}")
+    print(f"  predicted time: {fmt_duration(report.predicted_seconds)}")
+
+    simulator = SparkSimulator(tuner.cluster)
+    job = workload.job(args.size)
+    tuned = simulator.run(job, report.configuration).seconds
+    default = simulator.run(job, default_configuration()).seconds
+    print(f"  measured: DAC {fmt_duration(tuned)} vs default "
+          f"{fmt_duration(default)} ({default / tuned:.1f}x)")
+
+    if args.output:
+        save_spark_conf(
+            report.configuration,
+            args.output,
+            comment=f"{workload.name} @ {args.size} {workload.unit}, "
+            f"predicted {report.predicted_seconds:.0f}s",
+        )
+        print(f"  wrote {args.output}")
+    if args.spark_submit:
+        print("\n" + format_spark_submit(report.configuration))
+    return 0
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    workload = get_workload(args.program)
+    collector = Collector(workload, seed=args.seed)
+    print(f"Collecting {args.examples} performance vectors for "
+          f"{workload.name} over {len(collector.sizes)} input sizes ...")
+    training = collector.collect(args.examples)
+    save_training_set(training, args.output)
+    hours = collector.simulated_hours(training)
+    print(f"  wrote {args.output} ({len(training)} rows, "
+          f"{hours:.1f} simulated cluster-hours)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.program)
+    if args.conf and args.expert:
+        raise ValueError("--conf and --expert are mutually exclusive")
+    if args.conf:
+        config = load_spark_conf(args.conf)
+        source = args.conf
+    elif args.expert:
+        config = ExpertTuner(PAPER_CLUSTER).tune()
+        source = "expert rules"
+    else:
+        config = default_configuration()
+        source = "Table-2 defaults"
+
+    job = workload.job(args.size)
+    result = SparkSimulator().run(job, config)
+    print(f"{workload.name} @ {args.size} {workload.unit} "
+          f"({fmt_bytes(job.datasize_bytes)}) under {source}:")
+    print(f"  total: {fmt_duration(result.seconds)}  "
+          f"(GC {fmt_duration(result.gc_seconds)}, "
+          f"spill {fmt_bytes(result.spill_bytes)})")
+    if args.stages:
+        for stage in result.stages:
+            print(
+                f"  {stage.name:24s} {fmt_duration(stage.seconds):>10} "
+                f"x{stage.iterations:<3d} tasks={stage.num_tasks:<5d} "
+                f"gc={fmt_duration(stage.gc_seconds)}"
+            )
+    if getattr(args, "report", False):
+        from repro.sparksim.report import render_run_report
+
+        print()
+        print(render_run_report(result))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.common import FAST, PAPER
+
+    scale = PAPER if args.scale == "paper" else FAST
+    registry = _experiment_registry()
+    print(registry[args.name](scale))
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"{'abbr':5s} {'name':10s} {'unit':15s} Table-1 sizes")
+    for workload in ALL_WORKLOADS.values():
+        sizes = ", ".join(f"{s:g}" for s in workload.paper_sizes)
+        print(f"{workload.abbr:5s} {workload.name:10s} {workload.unit:15s} {sizes}")
+    return 0

@@ -1,0 +1,101 @@
+"""Argument parsing and command dispatch for ``python -m repro``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DAC (ASPLOS'18) reproduction: datasize-aware auto-tuning of "
+            "41 Spark configuration parameters on a simulated cluster."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # -- tune -----------------------------------------------------------
+    tune = sub.add_parser(
+        "tune", help="run the full DAC pipeline for one program and input size"
+    )
+    tune.add_argument("program", help="workload abbreviation or name, e.g. TS")
+    tune.add_argument("--size", type=float, required=True,
+                      help="input size in the workload's Table-1 units")
+    tune.add_argument("--train", type=int, default=600,
+                      help="training examples to collect (paper: 2000)")
+    tune.add_argument("--trees", type=int, default=300,
+                      help="boosted trees per HM component (paper: 3600)")
+    tune.add_argument("--learning-rate", type=float, default=0.1,
+                      help="HM learning rate (paper: 0.05)")
+    tune.add_argument("--generations", type=int, default=100,
+                      help="GA generations")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--output", metavar="PATH",
+                      help="write the tuned configuration as spark-dac.conf")
+    tune.add_argument("--spark-submit", action="store_true",
+                      help="print the equivalent spark-submit command")
+    tune.set_defaults(handler=commands.cmd_tune)
+
+    # -- collect ----------------------------------------------------------
+    collect = sub.add_parser(
+        "collect", help="run only the collecting component, write a CSV training set"
+    )
+    collect.add_argument("program")
+    collect.add_argument("--examples", type=int, default=600)
+    collect.add_argument("--seed", type=int, default=0)
+    collect.add_argument("--output", metavar="PATH", required=True,
+                         help="CSV file to write (the paper's matrix S)")
+    collect.set_defaults(handler=commands.cmd_collect)
+
+    # -- run --------------------------------------------------------------
+    run = sub.add_parser(
+        "run", help="execute one program on the simulator under a configuration"
+    )
+    run.add_argument("program")
+    run.add_argument("--size", type=float, required=True)
+    run.add_argument("--conf", metavar="PATH",
+                     help="spark-dac.conf file (default: Table-2 defaults)")
+    run.add_argument("--expert", action="store_true",
+                     help="use the expert rule-book instead of the defaults")
+    run.add_argument("--stages", action="store_true",
+                     help="print the per-stage breakdown")
+    run.add_argument("--report", action="store_true",
+                     help="print the full run report with bottleneck diagnosis")
+    run.set_defaults(handler=commands.cmd_run)
+
+    # -- experiment ---------------------------------------------------------
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's figures/tables"
+    )
+    experiment.add_argument(
+        "name",
+        choices=sorted(commands.EXPERIMENTS),
+        help="which figure/table to reproduce",
+    )
+    experiment.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    experiment.set_defaults(handler=commands.cmd_experiment)
+
+    # -- workloads -----------------------------------------------------------
+    workloads = sub.add_parser("workloads", help="list the Table-1 programs")
+    workloads.set_defaults(handler=commands.cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Shared substrate utilities: parameter spaces, deterministic RNG, units.
+
+These modules are dependency-free building blocks used by the Spark/ODC
+simulators, the workload definitions, and the DAC tuning core.
+"""
+
+from repro.common.rng import derive_rng, stable_seed
+from repro.common.space import (
+    BoolParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+)
+from repro.common.units import GB, KB, MB, fmt_bytes, fmt_duration
+
+__all__ = [
+    "BoolParameter",
+    "CategoricalParameter",
+    "Configuration",
+    "ConfigurationSpace",
+    "FloatParameter",
+    "GB",
+    "IntParameter",
+    "KB",
+    "MB",
+    "Parameter",
+    "derive_rng",
+    "fmt_bytes",
+    "fmt_duration",
+    "stable_seed",
+]

@@ -1,0 +1,39 @@
+"""Byte and time unit helpers used throughout the simulators."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count.
+
+    >>> fmt_bytes(1536)
+    '1.5 KB'
+    """
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1024.0 or unit == "PB":
+            return f"{value:.1f} {unit}".replace(".0 ", " ")
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration.
+
+    >>> fmt_duration(3725)
+    '1h 2m 5s'
+    """
+    seconds = float(seconds)
+    if seconds < 1:
+        return f"{seconds * 1000:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h {minutes}m {secs}s"
+    return f"{minutes}m {secs}s"

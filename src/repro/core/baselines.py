@@ -1,0 +1,17 @@
+"""Default-configuration baseline (Figure 12a's comparison point)."""
+
+from __future__ import annotations
+
+from repro.common.space import Configuration, ConfigurationSpace
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+
+
+def default_configuration(space: ConfigurationSpace = SPARK_CONF_SPACE) -> Configuration:
+    """The vendor defaults of Table 2's last column.
+
+    The paper attributes most of the 30.4x average speedup to these
+    defaults ignoring both program characteristics and dataset size —
+    most visibly the 1024 MB ``spark.executor.memory`` which "causes a
+    lot of out-of-memory failures" on large inputs (Section 5.6).
+    """
+    return space.default()

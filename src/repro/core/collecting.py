@@ -1,0 +1,175 @@
+"""The collecting component (Section 3.1, left block of Figure 4).
+
+For a given program, the Configuration Generator draws ``k`` random
+Table-2 configurations per input dataset size; the Dataset-size
+Generator produces ``m = 10`` sizes at least 10% apart (Equation 4);
+each (configuration, size) pair is executed on the substrate and stored
+as a performance vector (Equation 5):
+
+    Pv_i = {t_i, c_i1, ..., c_i41, dsize_i}
+
+The assembled :class:`TrainingSet` exposes the model-facing matrix view:
+features are the 41 normalized parameter encodings plus a log-scaled
+dataset size, targets are log execution times (predicting log-time is
+what makes minimizing Equation 2's *relative* error well-posed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.common.space import Configuration, ConfigurationSpace
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.simulator import SparkSimulator
+from repro.workloads.base import Workload
+from repro.workloads.datagen import DatasetSizeGenerator
+
+
+@dataclass(frozen=True)
+class PerformanceVector:
+    """One execution observation — Equation (5)."""
+
+    seconds: float
+    configuration: Configuration
+    datasize: float  # natural units (Table 1)
+    datasize_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("execution time must be positive")
+        if self.datasize_bytes <= 0:
+            raise ValueError("datasize must be positive")
+
+
+class TrainingSet:
+    """The matrix ``S`` of Section 3.2, with feature/target views."""
+
+    def __init__(self, space: ConfigurationSpace, vectors: Sequence[PerformanceVector]):
+        if not vectors:
+            raise ValueError("training set cannot be empty")
+        self.space = space
+        self.vectors: Tuple[PerformanceVector, ...] = tuple(vectors)
+        self._size_scale = max(v.datasize_bytes for v in self.vectors)
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def size_scale(self) -> float:
+        """Datasize normalizer (max observed bytes)."""
+        return self._size_scale
+
+    def features(self) -> np.ndarray:
+        """(n, 42) matrix: 41 encoded parameters + normalized datasize."""
+        rows = [
+            np.concatenate(
+                [
+                    self.space.encode(v.configuration),
+                    [v.datasize_bytes / self._size_scale],
+                ]
+            )
+            for v in self.vectors
+        ]
+        return np.vstack(rows)
+
+    def feature_row(self, config: Configuration, datasize_bytes: float) -> np.ndarray:
+        """Single feature row for model queries."""
+        return np.concatenate(
+            [self.space.encode(config), [datasize_bytes / self._size_scale]]
+        )
+
+    def log_times(self) -> np.ndarray:
+        return np.log(np.array([v.seconds for v in self.vectors]))
+
+    def times(self) -> np.ndarray:
+        return np.array([v.seconds for v in self.vectors])
+
+    def merged_with(self, other: "TrainingSet") -> "TrainingSet":
+        if other.space is not self.space and other.space.names != self.space.names:
+            raise ValueError("cannot merge training sets over different spaces")
+        return TrainingSet(self.space, self.vectors + other.vectors)
+
+
+class Collector:
+    """Drives simulated executions to build training/testing sets.
+
+    Parameters
+    ----------
+    workload:
+        The program to collect for.
+    cluster:
+        Hardware substrate.
+    space:
+        Configuration space to sample (defaults to the 41-param Table 2).
+    num_sizes:
+        The paper's ``m`` (default 10).
+    seed:
+        Root of the CG's random stream.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        space: ConfigurationSpace = SPARK_CONF_SPACE,
+        num_sizes: int = 10,
+        seed: int = 0,
+    ):
+        self.workload = workload
+        self.cluster = cluster
+        self.space = space
+        self.num_sizes = num_sizes
+        self.seed = seed
+        self.simulator = SparkSimulator(cluster)
+        low, high = workload.size_range()
+        self.sizes: List[float] = DatasetSizeGenerator(num_sizes).generate(low, high)
+
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+        total_examples: int,
+        stream: str = "train",
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> TrainingSet:
+        """Collect ``total_examples`` performance vectors.
+
+        Examples are spread evenly over the generator's dataset sizes
+        (``k = total / m`` configurations per size, Section 3.1).
+        Distinct ``stream`` labels produce disjoint random configuration
+        streams — the paper's train (2000) vs. test (500) sets.
+        """
+        if total_examples < 1:
+            raise ValueError("need at least one example")
+        rng = derive_rng("collector", self.workload.abbr, self.seed, stream)
+        vectors: List[PerformanceVector] = []
+        per_size = [total_examples // self.num_sizes] * self.num_sizes
+        for i in range(total_examples % self.num_sizes):
+            per_size[i] += 1
+        done = 0
+        for size, k in zip(self.sizes, per_size):
+            job = self.workload.job(size)
+            for _ in range(k):
+                config = self.space.random(rng)
+                result = self.simulator.run(job, config)
+                vectors.append(
+                    PerformanceVector(
+                        seconds=result.seconds,
+                        configuration=config,
+                        datasize=size,
+                        datasize_bytes=job.datasize_bytes,
+                    )
+                )
+                done += 1
+                if progress is not None:
+                    progress(done, total_examples)
+        return TrainingSet(self.space, vectors)
+
+    def simulated_hours(self, training_set: TrainingSet) -> float:
+        """Cluster-hours the collection would have cost on real hardware
+        (Table 3's 'Collecting' column)."""
+        return float(sum(v.seconds for v in training_set.vectors) / 3600.0)

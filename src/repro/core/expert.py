@@ -1,0 +1,85 @@
+"""Expert rule-based tuning (Section 5.6's "expert approach").
+
+Encodes the Spark team's and Cloudera's published tuning recommendations
+[16, 43] as deterministic rules over the cluster description:
+
+* ~5 cores per executor (HDFS-client concurrency sweet spot);
+* size executor heaps to divide the node memory among those executors,
+  minus JVM overhead;
+* Kryo serialization with a roomy buffer;
+* 2-3 tasks per core for parallelism (clamped to the Table-2 range);
+* leave ``spark.memory.fraction`` moderate so the old generation is not
+  squeezed.
+
+The rules are *datasize-oblivious and program-oblivious* — the paper's
+two stated reasons why DAC still beats the expert by 2.3x geomean:
+recommendations "can not adapt to different programs" and are
+"qualitative rather than quantitative".
+"""
+
+from __future__ import annotations
+
+from repro.common.space import Configuration, ConfigurationSpace
+from repro.common.units import MB
+from repro.sparksim.cluster import ClusterSpec
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+
+
+class ExpertTuner:
+    """Produces one expert configuration per cluster (never per input)."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        space: ConfigurationSpace = SPARK_CONF_SPACE,
+    ):
+        self.cluster = cluster
+        self.space = space
+
+    def tune(self) -> Configuration:
+        """Apply the guide's rules to the cluster."""
+        cores_per_executor = 5
+        executors_per_node = max(1, self.cluster.cores_per_node // cores_per_executor)
+        # Divide usable node memory among executors, keep ~10% JVM overhead.
+        heap_mb = int(
+            self.cluster.usable_memory_per_node_bytes
+            / executors_per_node
+            / 1.1
+            / MB
+        )
+        executor_memory = self._clamp("spark.executor.memory", heap_mb)
+
+        parallelism = self._clamp(
+            "spark.default.parallelism",
+            self.cluster.total_cores * 2,  # "2-3 tasks per CPU core"
+        )
+
+        return self.space.from_dict(
+            {
+                "spark.executor.cores": self._clamp(
+                    "spark.executor.cores", cores_per_executor
+                ),
+                "spark.executor.memory": executor_memory,
+                "spark.driver.memory": self._clamp("spark.driver.memory", 4096),
+                "spark.driver.cores": self._clamp("spark.driver.cores", 2),
+                "spark.serializer": "kryo",
+                "spark.kryoserializer.buffer.max": 64,
+                "spark.kryo.referenceTracking": False,
+                "spark.default.parallelism": parallelism,
+                "spark.memory.fraction": 0.6,  # guide: keep old gen breathing room
+                "spark.memory.storageFraction": 0.5,
+                "spark.shuffle.compress": True,
+                "spark.io.compression.codec": "lz4",
+                "spark.shuffle.file.buffer": 64,
+                "spark.reducer.maxSizeInFlight": 96,
+                "spark.shuffle.consolidateFiles": True,
+                "spark.rdd.compress": False,
+                "spark.speculation": True,
+                "spark.locality.wait": 3,
+                "spark.network.timeout": 300,
+            }
+        )
+
+    def _clamp(self, name: str, value: int) -> int:
+        param = self.space[name]
+        return int(min(max(value, param.low), param.high))

@@ -1,0 +1,189 @@
+"""Genetic-algorithm configuration search (Section 3.3, Figure 6).
+
+The GA explores the encoded configuration space (one gene in [0,1] per
+parameter) with tournament selection, uniform crossover, the paper's
+per-gene mutation rate of 0.01, and elitism.  Fitness is the predicted
+execution time from the performance model — never a real execution
+(Section 5.5 explains why: a model query takes milliseconds, a real run
+takes minutes).  The initial population is seeded from the collected
+configurations with their time column removed, exactly as in step 2 of
+Figure 6, topped up with random draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.space import Configuration, ConfigurationSpace
+
+#: Paper-stated per-gene mutation rate (Figure 6: "Mutate (rate:0.01)").
+DEFAULT_MUTATION_RATE = 0.01
+
+
+@dataclass(frozen=True)
+class GaResult:
+    """Outcome of one GA search."""
+
+    best_configuration: Configuration
+    best_fitness: float
+    #: Best fitness after each generation (Figure 11's convergence curves).
+    history: Tuple[float, ...]
+    generations: int
+
+    @property
+    def converged_at(self) -> int:
+        """First generation whose best is within 0.5% of the final best."""
+        threshold = self.best_fitness * 1.005
+        for i, value in enumerate(self.history):
+            if value <= threshold:
+                return i
+        return len(self.history) - 1
+
+
+class GeneticAlgorithm:
+    """Minimizes ``fitness(vector)`` over a configuration space.
+
+    Parameters
+    ----------
+    space:
+        The configuration space searched.
+    population_size:
+        The paper's ``popSize``.
+    mutation_rate:
+        Per-gene probability of resampling a gene uniformly.
+    crossover_rate:
+        Probability a child is produced by crossover (else cloned).
+    elite:
+        Individuals copied unchanged into the next generation.
+    tournament:
+        Tournament size for parent selection.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        population_size: int = 60,
+        mutation_rate: float = DEFAULT_MUTATION_RATE,
+        crossover_rate: float = 0.9,
+        elite: int = 2,
+        tournament: int = 3,
+    ):
+        if population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if elite >= population_size:
+            raise ValueError("elite must be smaller than the population")
+        self.space = space
+        self.population_size = population_size
+        self.mutation_rate = mutation_rate
+        self.crossover_rate = crossover_rate
+        self.elite = elite
+        self.tournament = tournament
+
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        fitness: Callable[[np.ndarray], np.ndarray],
+        rng: np.random.Generator,
+        generations: int = 100,
+        seed_vectors: Optional[Sequence[np.ndarray]] = None,
+        patience: Optional[int] = 25,
+    ) -> GaResult:
+        """Run the GA.
+
+        Parameters
+        ----------
+        fitness:
+            Vectorized objective: maps an (n, d) matrix of encoded
+            configurations to n predicted execution times (lower=better).
+        seed_vectors:
+            Encoded configurations to seed the initial population
+            (step 2 of Figure 6: popSize vectors from the training set).
+        patience:
+            Stop early when the best has not improved for this many
+            generations (None disables).
+        """
+        d = len(self.space)
+        pop = self._initial_population(rng, seed_vectors)
+        scores = np.asarray(fitness(pop), dtype=float)
+        if scores.shape != (len(pop),):
+            raise ValueError("fitness must return one value per row")
+
+        history: List[float] = [float(scores.min())]
+        best_vec = pop[int(np.argmin(scores))].copy()
+        best_fit = float(scores.min())
+        stale = 0
+
+        for _ in range(generations):
+            order = np.argsort(scores)
+            elite_rows = pop[order[: self.elite]]
+
+            n_children = self.population_size - self.elite
+            parents_a = self._select(pop, scores, rng, n_children)
+            parents_b = self._select(pop, scores, rng, n_children)
+
+            do_cross = rng.random(n_children) < self.crossover_rate
+            gene_mask = rng.random((n_children, d)) < 0.5
+            children = np.where(gene_mask, parents_a, parents_b)
+            children[~do_cross] = parents_a[~do_cross]
+
+            mutate = rng.random((n_children, d)) < self.mutation_rate
+            random_genes = rng.random((n_children, d))
+            children = np.where(mutate, random_genes, children)
+
+            pop = np.vstack([elite_rows, children])
+            scores = np.asarray(fitness(pop), dtype=float)
+
+            gen_best = float(scores.min())
+            if gen_best < best_fit - 1e-12:
+                best_fit = gen_best
+                best_vec = pop[int(np.argmin(scores))].copy()
+                stale = 0
+            else:
+                stale += 1
+            history.append(best_fit)
+            if patience is not None and stale >= patience:
+                break
+
+        return GaResult(
+            best_configuration=self.space.decode(best_vec),
+            best_fitness=best_fit,
+            history=tuple(history),
+            generations=len(history) - 1,
+        )
+
+    # ------------------------------------------------------------------
+    def _initial_population(
+        self,
+        rng: np.random.Generator,
+        seed_vectors: Optional[Sequence[np.ndarray]],
+    ) -> np.ndarray:
+        d = len(self.space)
+        rows: List[np.ndarray] = []
+        if seed_vectors is not None:
+            for vec in seed_vectors[: self.population_size]:
+                vec = np.asarray(vec, dtype=float)
+                if vec.shape != (d,):
+                    raise ValueError(f"seed vector must have length {d}")
+                rows.append(np.clip(vec, 0.0, 1.0))
+        while len(rows) < self.population_size:
+            rows.append(rng.random(d))
+        return np.vstack(rows)
+
+    def _select(
+        self,
+        pop: np.ndarray,
+        scores: np.ndarray,
+        rng: np.random.Generator,
+        count: int,
+    ) -> np.ndarray:
+        """Tournament selection, vectorized."""
+        entrants = rng.integers(0, len(pop), (count, self.tournament))
+        winners = entrants[np.arange(count), np.argmin(scores[entrants], axis=1)]
+        return pop[winners]

@@ -1,0 +1,277 @@
+"""Alternative configuration-search strategies (Section 3.3's candidates).
+
+The paper considers three families before settling on the GA:
+
+* **recursive random search** [56] — "sensitive to getting stuck in
+  local optima";
+* **pattern search** [46] — "typically suffers from slow local
+  (asymptotic) convergence rates";
+* **genetic algorithms** — "well-known for being robust against local
+  optima" (the one DAC uses, :mod:`repro.core.ga`).
+
+All three (plus plain random search as the floor) are implemented here
+behind one interface so the design choice is testable: every strategy
+minimizes a vectorized fitness over the encoded [0,1]^d space within a
+fixed evaluation budget and returns a :class:`SearchResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.space import Configuration, ConfigurationSpace
+from repro.core.ga import GeneticAlgorithm
+
+Fitness = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one budgeted search."""
+
+    strategy: str
+    best_configuration: Configuration
+    best_fitness: float
+    evaluations_used: int
+    #: best-so-far after each evaluation batch (for convergence plots)
+    history: Tuple[float, ...]
+
+
+class SearchStrategy:
+    """Interface: minimize ``fitness`` within ``budget`` evaluations."""
+
+    name: str = "abstract"
+
+    def __init__(self, space: ConfigurationSpace):
+        self.space = space
+
+    def minimize(
+        self,
+        fitness: Fitness,
+        budget: int,
+        rng: np.random.Generator,
+        seed_vectors: Optional[Sequence[np.ndarray]] = None,
+    ) -> SearchResult:
+        raise NotImplementedError
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform sampling — the floor every smarter strategy must beat."""
+
+    name = "random"
+
+    def minimize(self, fitness, budget, rng, seed_vectors=None):
+        d = len(self.space)
+        batch = max(1, min(256, budget))
+        best_vec = None
+        best = np.inf
+        used = 0
+        history = []
+        while used < budget:
+            n = min(batch, budget - used)
+            pop = rng.random((n, d))
+            if used == 0 and seed_vectors:
+                seeds = np.clip(np.asarray(list(seed_vectors))[: n], 0.0, 1.0)
+                pop[: len(seeds)] = seeds
+            scores = np.asarray(fitness(pop))
+            used += n
+            i = int(np.argmin(scores))
+            if scores[i] < best:
+                best = float(scores[i])
+                best_vec = pop[i].copy()
+            history.append(best)
+        return SearchResult(
+            strategy=self.name,
+            best_configuration=self.space.decode(best_vec),
+            best_fitness=best,
+            evaluations_used=used,
+            history=tuple(history),
+        )
+
+
+class RecursiveRandomSearch(SearchStrategy):
+    """Ye & Kalyanaraman's RRS: sample globally, then recursively shrink
+    a sampling box around the incumbent; restart globally on stagnation.
+
+    The re-scaling concentrates samples near the best point found — the
+    behaviour that makes it fast initially and prone to local optima,
+    exactly the property the paper cites against it.
+    """
+
+    name = "recursive-random"
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        explore_samples: int = 40,
+        shrink: float = 0.6,
+        stagnation_limit: int = 3,
+        min_box: float = 0.01,
+    ):
+        super().__init__(space)
+        self.explore_samples = explore_samples
+        self.shrink = shrink
+        self.stagnation_limit = stagnation_limit
+        self.min_box = min_box
+
+    def minimize(self, fitness, budget, rng, seed_vectors=None):
+        d = len(self.space)
+        used = 0
+        history = []
+        global_best = np.inf
+        global_vec = None
+
+        def evaluate(pop: np.ndarray) -> np.ndarray:
+            nonlocal used
+            used += len(pop)
+            return np.asarray(fitness(pop))
+
+        while used < budget:
+            # -- explore phase: global uniform samples ------------------
+            n = min(self.explore_samples, budget - used)
+            pop = rng.random((n, d))
+            if used == 0 and seed_vectors:
+                seeds = np.clip(np.asarray(list(seed_vectors))[:n], 0.0, 1.0)
+                pop[: len(seeds)] = seeds
+            scores = evaluate(pop)
+            i = int(np.argmin(scores))
+            center, incumbent = pop[i].copy(), float(scores[i])
+
+            # -- exploit phase: shrink a box around the incumbent --------
+            half_width = 0.25
+            stagnant = 0
+            while used < budget and half_width > self.min_box:
+                n = min(self.explore_samples // 2 or 1, budget - used)
+                low = np.clip(center - half_width, 0.0, 1.0)
+                high = np.clip(center + half_width, 0.0, 1.0)
+                pop = rng.uniform(low, high, size=(n, d))
+                scores = evaluate(pop)
+                i = int(np.argmin(scores))
+                if scores[i] < incumbent:
+                    incumbent = float(scores[i])
+                    center = pop[i].copy()
+                    stagnant = 0
+                else:
+                    stagnant += 1
+                    if stagnant >= self.stagnation_limit:
+                        half_width *= self.shrink
+                        stagnant = 0
+                if incumbent < global_best:
+                    global_best = incumbent
+                    global_vec = center.copy()
+                history.append(global_best)
+            if incumbent < global_best:
+                global_best, global_vec = incumbent, center.copy()
+            history.append(global_best)
+
+        return SearchResult(
+            strategy=self.name,
+            best_configuration=self.space.decode(global_vec),
+            best_fitness=global_best,
+            evaluations_used=used,
+            history=tuple(history),
+        )
+
+
+class PatternSearch(SearchStrategy):
+    """Hooke-Jeeves coordinate pattern search.
+
+    Polls ± the current step along every coordinate; on failure the step
+    halves.  Convergence is local and slow in high dimension — the
+    paper's stated reason to prefer the GA.
+    """
+
+    name = "pattern"
+
+    def __init__(self, space: ConfigurationSpace, initial_step: float = 0.25):
+        super().__init__(space)
+        self.initial_step = initial_step
+
+    def minimize(self, fitness, budget, rng, seed_vectors=None):
+        d = len(self.space)
+        if seed_vectors:
+            current = np.clip(np.asarray(seed_vectors[0], dtype=float), 0.0, 1.0)
+        else:
+            current = rng.random(d)
+        score = float(np.asarray(fitness(current[None, :]))[0])
+        used = 1
+        step = self.initial_step
+        history = [score]
+
+        while used < budget and step > 1e-4:
+            # Poll all 2d neighbours in one vectorized batch.
+            n = min(2 * d, budget - used)
+            moves = np.zeros((2 * d, d))
+            moves[np.arange(d), np.arange(d)] = step
+            moves[d + np.arange(d), np.arange(d)] = -step
+            candidates = np.clip(current + moves[:n], 0.0, 1.0)
+            scores = np.asarray(fitness(candidates))
+            used += n
+            i = int(np.argmin(scores))
+            if scores[i] < score:
+                # Pattern move: double the successful direction.
+                direction = candidates[i] - current
+                current, score = candidates[i], float(scores[i])
+                if used < budget:
+                    jump = np.clip(current + direction, 0.0, 1.0)
+                    jump_score = float(np.asarray(fitness(jump[None, :]))[0])
+                    used += 1
+                    if jump_score < score:
+                        current, score = jump, jump_score
+            else:
+                step *= 0.5
+            history.append(score)
+
+        return SearchResult(
+            strategy=self.name,
+            best_configuration=self.space.decode(current),
+            best_fitness=score,
+            evaluations_used=used,
+            history=tuple(history),
+        )
+
+
+class GaSearch(SearchStrategy):
+    """The paper's GA, adapted to the budgeted interface."""
+
+    name = "GA"
+
+    def __init__(self, space: ConfigurationSpace, population_size: int = 60):
+        super().__init__(space)
+        self.population_size = population_size
+
+    def minimize(self, fitness, budget, rng, seed_vectors=None):
+        generations = max(1, budget // self.population_size - 1)
+        ga = GeneticAlgorithm(self.space, population_size=self.population_size)
+        result = ga.minimize(
+            fitness, rng, generations=generations,
+            seed_vectors=seed_vectors, patience=None,
+        )
+        return SearchResult(
+            strategy=self.name,
+            best_configuration=result.best_configuration,
+            best_fitness=result.best_fitness,
+            evaluations_used=self.population_size * (result.generations + 1),
+            history=result.history,
+        )
+
+
+#: Strategy registry for the CLI and the search ablation.
+STRATEGIES = {
+    "GA": GaSearch,
+    "random": RandomSearch,
+    "recursive-random": RecursiveRandomSearch,
+    "pattern": PatternSearch,
+}
+
+
+def make_strategy(name: str, space: ConfigurationSpace) -> SearchStrategy:
+    try:
+        return STRATEGIES[name](space)
+    except KeyError:
+        raise KeyError(
+            f"unknown search strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None

@@ -1,0 +1,163 @@
+"""Tuning sessions: multi-program orchestration with on-disk caching.
+
+A production deployment of DAC tunes *many* periodic jobs against one
+cluster and wants the expensive artifacts — training sets (hours of
+cluster time) and fitted models — reused across invocations.
+:class:`DacSession` provides that layer:
+
+* training sets are cached as CSV files under the session directory
+  (the same format as the paper's R pipeline, via :mod:`repro.io`);
+* collections are *incremental*: asking for more examples tops up the
+  cached set instead of re-collecting from scratch;
+* tuned configurations are exported as ``<program>-<size>-spark-dac.conf``
+  files ready for ``spark-submit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.collecting import Collector, TrainingSet
+from repro.core.tuner import DacTuner, TuningReport
+from repro.io import load_training_set, save_spark_conf, save_training_set
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SessionEntry:
+    """What the session knows about one program."""
+
+    program: str
+    examples_collected: int
+    model_fitted: bool
+    tuned_sizes: tuple
+
+
+class DacSession:
+    """A persistent tuning workspace for one cluster.
+
+    Parameters
+    ----------
+    directory:
+        Where training-set CSVs and tuned conf files live.  Created if
+        missing.
+    cluster:
+        Hardware all programs in this session run on.
+    n_trees / learning_rate:
+        HM parameters shared by every program's model.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        n_trees: int = 300,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.cluster = cluster
+        self.n_trees = n_trees
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._tuners: Dict[str, DacTuner] = {}
+        self._tuned: Dict[str, Dict[float, TuningReport]] = {}
+
+    # ------------------------------------------------------------------
+    def _csv_path(self, program: str) -> Path:
+        return self.directory / f"{program.upper()}-training.csv"
+
+    def training_set(self, program: str, min_examples: int = 400) -> TrainingSet:
+        """Load-or-collect a training set with at least ``min_examples``.
+
+        Cached rows are reused; only the shortfall is collected (on a
+        fresh random stream so the top-up never duplicates cached
+        configurations).
+        """
+        if min_examples < 1:
+            raise ValueError("min_examples must be positive")
+        workload = get_workload(program)
+        path = self._csv_path(workload.abbr)
+        cached: Optional[TrainingSet] = None
+        if path.exists():
+            cached = load_training_set(path, SPARK_CONF_SPACE)
+
+        have = len(cached) if cached is not None else 0
+        if have < min_examples:
+            collector = Collector(workload, self.cluster, seed=self.seed)
+            top_up = collector.collect(
+                min_examples - have, stream=f"session-{have}"
+            )
+            merged = cached.merged_with(top_up) if cached is not None else top_up
+            save_training_set(merged, path)
+            cached = merged
+        return cached
+
+    # ------------------------------------------------------------------
+    def tuner(self, program: str, min_examples: int = 400) -> DacTuner:
+        """A fitted tuner for ``program``, built from the cached data."""
+        workload = get_workload(program)
+        key = workload.abbr
+        if key not in self._tuners:
+            training = self.training_set(key, min_examples)
+            tuner = DacTuner(
+                workload,
+                cluster=self.cluster,
+                n_trees=self.n_trees,
+                learning_rate=self.learning_rate,
+                seed=self.seed,
+            )
+            tuner.fit(training)
+            self._tuners[key] = tuner
+        return self._tuners[key]
+
+    def tune(
+        self,
+        program: str,
+        datasize: float,
+        generations: int = 60,
+        export: bool = True,
+    ) -> TuningReport:
+        """Tune one program-input pair, optionally exporting the conf file."""
+        tuner = self.tuner(program)
+        report = tuner.tune(datasize, generations=generations)
+        self._tuned.setdefault(report.program, {})[datasize] = report
+        if export:
+            conf_path = self.conf_path(report.program, datasize)
+            save_spark_conf(
+                report.configuration,
+                conf_path,
+                comment=(
+                    f"{report.program} @ {datasize}, "
+                    f"predicted {report.predicted_seconds:.0f}s, "
+                    f"model err {report.model_holdout_error * 100:.1f}%"
+                ),
+            )
+        return report
+
+    def conf_path(self, program: str, datasize: float) -> Path:
+        return self.directory / f"{program.upper()}-{datasize:g}-spark-dac.conf"
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Dict[str, SessionEntry]:
+        """Summary of everything this session has produced."""
+        out: Dict[str, SessionEntry] = {}
+        programs = {p.stem.split("-")[0] for p in self.directory.glob("*-training.csv")}
+        programs |= set(self._tuners)
+        for program in sorted(programs):
+            path = self._csv_path(program)
+            examples = 0
+            if path.exists():
+                examples = sum(1 for _ in path.open()) - 1
+            out[program] = SessionEntry(
+                program=program,
+                examples_collected=examples,
+                model_fitted=program in self._tuners,
+                tuned_sizes=tuple(sorted(self._tuned.get(program, {}))),
+            )
+        return out

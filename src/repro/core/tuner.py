@@ -1,0 +1,186 @@
+"""DAC: collect -> model (HM) -> search (GA), per Figure 4.
+
+:class:`DacTuner` owns one program's tuning lifecycle:
+
+1. :meth:`collect` gathers the training set (2000 examples across 10
+   dataset sizes by default — Section 5.1's ``ntrain``);
+2. :meth:`fit` trains the Hierarchical Model on
+   (41 encoded parameters + datasize) -> log execution time;
+3. :meth:`tune` runs the GA against the model for a *specific* target
+   dataset size — the datasize-awareness: the same model yields
+   different optimal configurations for different input sizes.
+
+The returned :class:`TuningReport` carries everything the paper's
+evaluation reads off: the chosen configuration, predicted time, GA
+convergence history (Figure 11), model holdout error (Figure 9), and
+wall-clock modeling/search costs (Table 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.common.space import Configuration, ConfigurationSpace
+from repro.core.collecting import Collector, TrainingSet
+from repro.core.ga import GaResult, GeneticAlgorithm
+from repro.models.hierarchical import HierarchicalModel
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.workloads.base import Workload
+
+#: Section 5.1/5.2's chosen model parameters: ntrain=2000, tc=5,
+#: lr=0.05, nt=3600.  PAPER_SCALE reproduces them; FAST_SCALE keeps the
+#: same shape at test/bench-friendly cost.
+PAPER_SCALE = {"n_train": 2000, "n_trees": 3600, "learning_rate": 0.05}
+FAST_SCALE = {"n_train": 600, "n_trees": 250, "learning_rate": 0.1}
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Everything DAC learned about one (program, datasize) target."""
+
+    program: str
+    datasize: float
+    configuration: Configuration
+    predicted_seconds: float
+    ga: GaResult
+    model_holdout_error: float
+    collecting_simulated_hours: float
+    modeling_wall_seconds: float
+    searching_wall_seconds: float
+
+
+class DacTuner:
+    """The paper's tuner for one program on one cluster."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        space: ConfigurationSpace = SPARK_CONF_SPACE,
+        n_train: int = 600,
+        n_trees: int = 250,
+        learning_rate: float = 0.1,
+        tree_complexity: int = 5,
+        target_accuracy: float = 0.90,
+        seed: int = 0,
+    ):
+        self.workload = workload
+        self.cluster = cluster
+        self.space = space
+        self.n_train = n_train
+        self.n_trees = n_trees
+        self.learning_rate = learning_rate
+        self.tree_complexity = tree_complexity
+        self.target_accuracy = target_accuracy
+        self.seed = seed
+
+        self.collector = Collector(workload, cluster, space, seed=seed)
+        self.training_set: Optional[TrainingSet] = None
+        self.model: Optional[HierarchicalModel] = None
+        self._collect_hours = 0.0
+        self._modeling_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, workload: Workload, **kwargs) -> "DacTuner":
+        """Tuner configured with the paper's full-fidelity parameters."""
+        merged = {**PAPER_SCALE, **kwargs}
+        return cls(workload, **merged)
+
+    @classmethod
+    def fast_scale(cls, workload: Workload, **kwargs) -> "DacTuner":
+        """Tuner with bench/test-friendly parameters (same code paths)."""
+        merged = {**FAST_SCALE, **kwargs}
+        return cls(workload, **merged)
+
+    # ------------------------------------------------------------------
+    def collect(self, n_train: Optional[int] = None) -> TrainingSet:
+        """Run the collecting component (idempotent unless re-called)."""
+        n = n_train or self.n_train
+        self.training_set = self.collector.collect(n, stream="train")
+        self._collect_hours = self.collector.simulated_hours(self.training_set)
+        return self.training_set
+
+    def fit(self, training_set: Optional[TrainingSet] = None) -> HierarchicalModel:
+        """Train the HM performance model on the collected set."""
+        if training_set is not None:
+            self.training_set = training_set
+        if self.training_set is None:
+            self.collect()
+        assert self.training_set is not None
+        start = time.perf_counter()
+        self.model = HierarchicalModel(
+            n_trees=self.n_trees,
+            learning_rate=self.learning_rate,
+            tree_complexity=self.tree_complexity,
+            target_accuracy=self.target_accuracy,
+            random_state=self.seed,
+        )
+        self.model.fit(self.training_set.features(), self.training_set.log_times())
+        self._modeling_seconds = time.perf_counter() - start
+        return self.model
+
+    # ------------------------------------------------------------------
+    def predict_seconds(self, config: Configuration, datasize: float) -> float:
+        """Model-predicted execution time for one configuration."""
+        self._require_model()
+        job_bytes = self.workload.bytes_for(datasize)
+        row = self.training_set.feature_row(config, job_bytes)
+        return float(np.exp(self.model.predict(row[None, :])[0]))
+
+    def tune(
+        self,
+        datasize: float,
+        generations: int = 100,
+        population_size: int = 60,
+        patience: Optional[int] = 25,
+    ) -> TuningReport:
+        """Search the optimal configuration for one target input size."""
+        self._require_model()
+        assert self.training_set is not None and self.model is not None
+        job_bytes = self.workload.bytes_for(datasize)
+        size_feature = job_bytes / self.training_set.size_scale
+
+        model = self.model
+
+        def fitness(pop: np.ndarray) -> np.ndarray:
+            rows = np.column_stack([pop, np.full(len(pop), size_feature)])
+            return np.exp(model.predict(rows))
+
+        # Step 2 of Figure 6: seed the population with collected
+        # configurations (time column dropped).
+        seeds = [
+            self.space.encode(v.configuration)
+            for v in self.training_set.vectors[:population_size]
+        ]
+        ga = GeneticAlgorithm(self.space, population_size=population_size)
+        rng = derive_rng("dac-ga", self.workload.abbr, datasize, self.seed)
+
+        start = time.perf_counter()
+        result = ga.minimize(
+            fitness, rng, generations=generations, seed_vectors=seeds, patience=patience
+        )
+        search_seconds = time.perf_counter() - start
+
+        return TuningReport(
+            program=self.workload.abbr,
+            datasize=datasize,
+            configuration=result.best_configuration,
+            predicted_seconds=result.best_fitness,
+            ga=result,
+            model_holdout_error=self.model.holdout_error_,
+            collecting_simulated_hours=self._collect_hours,
+            modeling_wall_seconds=self._modeling_seconds,
+            searching_wall_seconds=search_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _require_model(self) -> None:
+        if self.model is None:
+            self.fit()

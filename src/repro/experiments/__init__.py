@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment exposes ``run(scale=FAST) -> <Figure>Result`` where the
+result dataclass carries the raw numbers and renders the same rows/series
+the paper reports.  Two scales are provided (:data:`FAST` for tests and
+benchmarks, :data:`PAPER` for full fidelity); both run the identical
+code path and differ only in sample counts and ensemble sizes.
+
+Figure/table map:
+
+========  ==========================================================
+fig02     IMC vs ODC execution-time variance vs datasize
+fig03     prediction errors of the RS/ANN/SVM/RF baselines
+fig07     model error vs number of training examples (ntrain)
+fig08     error vs (nt, lr, tc) for the first-order HM model
+fig09     HM accuracy vs the four baselines
+fig10     predicted-vs-measured scatter (PR, TS)
+fig11     GA convergence iterations per program
+fig12     speedups: DAC vs default / RFHOC / expert
+fig13     KMeans per-stage and GC analysis
+fig14     TeraSort Stage2 and GC analysis
+table3    overhead: collecting / modeling / searching costs
+========  ==========================================================
+"""
+
+from repro.experiments.common import FAST, PAPER, Scale
+
+__all__ = ["FAST", "PAPER", "Scale"]

@@ -1,0 +1,22 @@
+"""Figure 3: prediction errors of RS, ANN, SVM and RF.
+
+The motivation-side model study (Section 2.2.2): with datasize and all
+41 parameters as inputs, the four existing techniques leave 14-30%
+average error — too inaccurate to drive configuration search.  Paper
+values: RS 23%, ANN 27%, SVM 14%, RF 18%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Scale
+from repro.experiments.model_errors import ModelErrorResult, run_model_errors
+
+BASELINES = ("RS", "ANN", "SVM", "RF")
+
+
+def run(scale: Scale) -> ModelErrorResult:
+    return run_model_errors(scale, BASELINES)
+
+
+def render(result: ModelErrorResult) -> str:
+    return result.render("Figure 3: baseline model prediction errors")

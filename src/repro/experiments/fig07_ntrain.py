@@ -1,0 +1,85 @@
+"""Figure 7: model error as a function of the training-set size.
+
+Section 5.1 trains models with 200, 400, ... examples and tracks the
+max/mean/min error over the experimented program-input pairs; the
+curves flatten around ntrain = 2000, which the paper then adopts.  At
+FAST scale the sweep covers proportionally smaller sets but must show
+the same monotone-decreasing, flattening shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import Scale, collected, render_table, test_matrix
+from repro.models import GradientBoostedTrees
+from repro.models.metrics import mean_relative_error
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    scale: str
+    ntrain_values: Tuple[int, ...]
+    programs: Tuple[str, ...]
+    #: errors[ntrain][program]
+    errors: Dict[int, Dict[str, float]]
+
+    def mean_curve(self) -> List[float]:
+        return [float(np.mean(list(self.errors[n].values()))) for n in self.ntrain_values]
+
+    def min_curve(self) -> List[float]:
+        return [min(self.errors[n].values()) for n in self.ntrain_values]
+
+    def max_curve(self) -> List[float]:
+        return [max(self.errors[n].values()) for n in self.ntrain_values]
+
+    def render(self) -> str:
+        rows = [
+            [n, f"{mn * 100:.1f}%", f"{mean * 100:.1f}%", f"{mx * 100:.1f}%"]
+            for n, mn, mean, mx in zip(
+                self.ntrain_values, self.min_curve(), self.mean_curve(), self.max_curve()
+            )
+        ]
+        return render_table(
+            ["ntrain", "Min", "Mean", "Max"],
+            rows,
+            "Figure 7: model error vs number of training examples",
+        )
+
+    @property
+    def is_improving(self) -> bool:
+        """Mean error at the largest ntrain beats the smallest ntrain."""
+        curve = self.mean_curve()
+        return curve[-1] < curve[0]
+
+
+def run(scale: Scale, programs: Sequence[str] | None = None) -> Fig7Result:
+    programs = tuple(programs or scale.programs[:3])
+    steps = 6 if scale.n_train >= 1200 else 5
+    ntrain_values = tuple(
+        int(round(scale.n_train * f)) for f in np.linspace(0.125, 1.0, steps)
+    )
+    errors: Dict[int, Dict[str, float]] = {n: {} for n in ntrain_values}
+    for program in programs:
+        train = collected(program, scale.n_train, "train")
+        test = collected(program, scale.n_test, "test")
+        X_all, y_all = train.features(), train.log_times()
+        X_test, measured = test_matrix(train, test)
+        for n in ntrain_values:
+            model = GradientBoostedTrees(
+                n_trees=scale.n_trees,
+                learning_rate=scale.learning_rate,
+                tree_complexity=scale.tree_complexity,
+            )
+            model.fit(X_all[:n], y_all[:n])
+            predicted = np.exp(model.predict(X_test))
+            errors[n][program] = mean_relative_error(predicted, measured)
+    return Fig7Result(
+        scale=scale.name,
+        ntrain_values=ntrain_values,
+        programs=programs,
+        errors=errors,
+    )

@@ -1,0 +1,75 @@
+"""Figure 10: error distribution — predicted vs measured scatter.
+
+Section 5.4 plots 200 random configurations for PageRank and TeraSort;
+the claim is distributional: points hug the bisector with few outliers.
+We quantify "hugging" by the fraction of points within 30% of the
+bisector and the log-space correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.experiments.common import Scale, collected, render_table, test_matrix
+from repro.models import HierarchicalModel
+from repro.models.metrics import relative_errors
+
+PROGRAMS = ("PR", "TS")
+
+
+@dataclass(frozen=True)
+class ScatterSeries:
+    measured: Tuple[float, ...]
+    predicted: Tuple[float, ...]
+
+    def within(self, tolerance: float) -> float:
+        errs = relative_errors(np.array(self.predicted), np.array(self.measured))
+        return float(np.mean(errs <= tolerance))
+
+    def log_correlation(self) -> float:
+        return float(
+            np.corrcoef(np.log(self.measured), np.log(self.predicted))[0, 1]
+        )
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    scale: str
+    series: Dict[str, ScatterSeries]
+
+    def render(self) -> str:
+        rows = [
+            [
+                program,
+                len(s.measured),
+                f"{s.within(0.3) * 100:.0f}%",
+                f"{s.log_correlation():.3f}",
+            ]
+            for program, s in self.series.items()
+        ]
+        return render_table(
+            ["program", "points", "within 30% of bisector", "log-corr"],
+            rows,
+            "Figure 10: prediction-vs-measurement scatter",
+        )
+
+
+def run(scale: Scale, n_points: int = 200) -> Fig10Result:
+    series: Dict[str, ScatterSeries] = {}
+    for program in PROGRAMS:
+        train = collected(program, scale.n_train, "train")
+        test = collected(program, max(n_points, scale.n_test), "scatter")
+        model = HierarchicalModel(
+            n_trees=scale.n_trees,
+            learning_rate=scale.learning_rate,
+            tree_complexity=scale.tree_complexity,
+        )
+        model.fit(train.features(), train.log_times())
+        X_test, measured = test_matrix(train, test)
+        X_test, measured = X_test[:n_points], measured[:n_points]
+        predicted = np.exp(model.predict(X_test))
+        series[program] = ScatterSeries(tuple(measured), tuple(predicted))
+    return Fig10Result(scale=scale.name, series=series)

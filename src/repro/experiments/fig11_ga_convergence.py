@@ -1,0 +1,56 @@
+"""Figure 11: GA convergence per program.
+
+Section 5.5: the GA finds its best configuration within 48-64 iterations
+for every program, and the convergence point differs by program.  We
+report the iteration at which each program's GA search (for its middle
+Table-1 size) reaches within 0.5% of its final best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import Scale, render_table
+from repro.experiments.tuning_runs import tune_program
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    scale: str
+    #: histories[program] = best-fitness-so-far per generation
+    histories: Dict[str, Tuple[float, ...]]
+    converged_at: Dict[str, int]
+
+    def render(self) -> str:
+        rows = [
+            [p, len(self.histories[p]) - 1, self.converged_at[p]]
+            for p in self.histories
+        ]
+        return render_table(
+            ["program", "generations run", "converged at"],
+            rows,
+            "Figure 11: GA convergence (iterations to within 0.5% of best)",
+        )
+
+    @property
+    def all_converged_quickly(self) -> bool:
+        """The paper's claim: a small number of iterations suffices."""
+        return all(
+            at <= max(70, len(self.histories[p]) - 1)
+            for p, at in self.converged_at.items()
+        )
+
+
+def run(scale: Scale) -> Fig11Result:
+    histories: Dict[str, Tuple[float, ...]] = {}
+    converged: Dict[str, int] = {}
+    for program in scale.programs:
+        workload = get_workload(program)
+        tuning = tune_program(program, scale)
+        mid_size = workload.paper_sizes[len(workload.paper_sizes) // 2]
+        report = tuning.dac_reports[mid_size]
+        histories[program] = report.ga.history
+        converged[program] = report.ga.converged_at
+    return Fig11Result(scale=scale.name, histories=histories, converged_at=converged)

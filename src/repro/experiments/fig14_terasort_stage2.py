@@ -1,0 +1,91 @@
+"""Figure 14: TeraSort Stage2 time and GC, by configuration.
+
+Section 5.8's second deep dive: TeraSort's Stage2 (shuffle + sort +
+write) dominates (~90% of runtime).  Across D1..D5: default >> RFHOC >
+DAC, the gaps widening with input size, and "the time reduction for the
+garbage collection is the main reason" — DAC's GC grows more slowly
+with input size than RFHOC's and default's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import Scale, render_table
+from repro.experiments.tuning_runs import tune_program
+from repro.sparksim.simulator import SparkSimulator
+from repro.workloads import get_workload
+
+PROGRAM = "TS"
+STAGE2 = "stage2-sort-write"
+CONFIG_KINDS = ("default", "RFHOC", "DAC")
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    scale: str
+    sizes: Tuple[float, ...]
+    #: stage2_seconds[(kind, size)], gc_seconds[(kind, size)]
+    stage2_seconds: Dict[Tuple[str, float], float]
+    gc_seconds: Dict[Tuple[str, float], float]
+    stage1_fraction: Dict[Tuple[str, float], float]
+
+    def growth(self, kind: str, values: Dict[Tuple[str, float], float]) -> float:
+        """Largest-size value over smallest-size value for one config."""
+        return values[(kind, self.sizes[-1])] / max(values[(kind, self.sizes[0])], 1e-9)
+
+    def absolute_increase(
+        self, kind: str, values: Dict[Tuple[str, float], float]
+    ) -> float:
+        """D5 minus D1 — the paper's "increases more slowly" claim is
+        about how much GC time the configuration *adds* as data grows."""
+        return values[(kind, self.sizes[-1])] - values[(kind, self.sizes[0])]
+
+    def render(self) -> str:
+        rows = []
+        for size in self.sizes:
+            for kind in CONFIG_KINDS:
+                rows.append(
+                    [
+                        size,
+                        kind,
+                        f"{self.stage2_seconds[(kind, size)]:.0f}",
+                        f"{self.gc_seconds[(kind, size)]:.0f}",
+                        f"{self.stage1_fraction[(kind, size)] * 100:.0f}%",
+                    ]
+                )
+        return render_table(
+            ["size GB", "config", "stage2 s", "GC s", "stage1 share"],
+            rows,
+            "Figure 14: TeraSort Stage2 time and GC",
+        )
+
+
+def run(scale: Scale) -> Fig14Result:
+    workload = get_workload(PROGRAM)
+    tuning = tune_program(PROGRAM, scale)
+    simulator = SparkSimulator()
+    sizes = workload.paper_sizes
+
+    stage2: Dict[Tuple[str, float], float] = {}
+    gc: Dict[Tuple[str, float], float] = {}
+    s1_frac: Dict[Tuple[str, float], float] = {}
+    for size in sizes:
+        job = workload.job(size)
+        runs = {
+            "default": simulator.run(job, tuning.default),
+            "RFHOC": simulator.run(job, tuning.rfhoc_report.configuration),
+            "DAC": simulator.run(job, tuning.dac_config(size)),
+        }
+        for kind, result in runs.items():
+            stage2[(kind, size)] = result.stage(STAGE2).seconds
+            gc[(kind, size)] = result.gc_seconds
+            s1_frac[(kind, size)] = 1.0 - result.stage(STAGE2).seconds / result.seconds
+    return Fig14Result(
+        scale=scale.name,
+        sizes=sizes,
+        stage2_seconds=stage2,
+        gc_seconds=gc,
+        stage1_fraction=s1_frac,
+    )

@@ -1,0 +1,67 @@
+"""Table 3: DAC's one-time costs — collecting, modeling, searching.
+
+Paper values: collecting 53-92 cluster-hours (by far the largest cost,
+amortized over the many repeated runs of a periodic job), modeling
+9-12 s, searching 7-10 min.
+
+In this reproduction "collecting" reports *simulated* cluster-hours (the
+sum of simulated execution times of the training runs — what the paper's
+testbed would have spent), while modeling and searching report real
+wall-clock costs of our implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import Scale, render_table
+from repro.experiments.tuning_runs import tune_program
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    scale: str
+    #: per program: (collecting sim-hours, modeling wall-s, searching wall-s)
+    costs: Dict[str, Tuple[float, float, float]]
+
+    def render(self) -> str:
+        rows = [
+            [
+                program,
+                f"{hours:.1f}",
+                f"{model_s:.1f}",
+                f"{search_s / 60.0:.2f}",
+            ]
+            for program, (hours, model_s, search_s) in self.costs.items()
+        ]
+        return render_table(
+            ["workload", "collecting (sim h)", "modeling (s)", "searching (min)"],
+            rows,
+            "Table 3: DAC one-time cost per program",
+        )
+
+    @property
+    def collecting_dominates(self) -> bool:
+        """The table's takeaway: collection >> modeling + searching."""
+        return all(
+            hours * 3600.0 > 10.0 * (model_s + search_s)
+            for hours, model_s, search_s in self.costs.values()
+        )
+
+
+def run(scale: Scale) -> Table3Result:
+    costs: Dict[str, Tuple[float, float, float]] = {}
+    for program in scale.programs:
+        workload = get_workload(program)
+        tuning = tune_program(program, scale)
+        search_total = sum(
+            r.searching_wall_seconds for r in tuning.dac_reports.values()
+        ) / len(tuning.dac_reports)
+        costs[program] = (
+            tuning.collecting_simulated_hours,
+            tuning.modeling_wall_seconds,
+            search_total,
+        )
+    return Table3Result(scale=scale.name, costs=costs)

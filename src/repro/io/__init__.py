@@ -1,0 +1,24 @@
+"""Persistence: training-set CSVs and Spark configuration files.
+
+The paper's implementation (Section 3.4) stores the training set ``S``
+"in a CSV file" and writes tuned configurations back to Spark's
+configuration file, ``spark-dac.conf``, for ``spark-submit`` to pick
+up.  This package reproduces both formats so tuning artifacts survive
+across sessions and tuned configurations are directly usable on a real
+cluster.
+"""
+
+from repro.io.csvsets import load_training_set, save_training_set
+from repro.io.sparkconf_file import (
+    format_spark_submit,
+    load_spark_conf,
+    save_spark_conf,
+)
+
+__all__ = [
+    "format_spark_submit",
+    "load_spark_conf",
+    "load_training_set",
+    "save_spark_conf",
+    "save_training_set",
+]

@@ -1,0 +1,163 @@
+"""Hierarchical Modeling (HM) — Algorithm 1 of the paper.
+
+The first-order model is a boosted-tree ensemble
+(:class:`~repro.models.boosting.GradientBoostedTrees`).  If its accuracy
+on a held-out set misses the target after convergence, HM recurses:
+build *another* first-order model with different randomness (a different
+bootstrap stream) and combine the pair, "β1·TM1 + β2·TM2" — producing a
+second-order model; the procedure repeats up to ``max_order``.
+
+The paper leaves the combination coefficients abstract ("the respective
+coefficients corresponding to learning rate"); we resolve them the
+standard stacking way: non-negative least squares of the held-out
+targets on the component predictions, so the combined model is at least
+as good as its best component on that set.  This interpretation is
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.models.boosting import GradientBoostedTrees
+from repro.models.metrics import mean_relative_error
+
+
+class HierarchicalModel:
+    """The paper's HM performance model.
+
+    Parameters mirror :class:`GradientBoostedTrees` (they configure every
+    first-order component) plus:
+
+    target_accuracy:
+        Algorithm 1's stopping criterion (e.g. 0.90 = "90%").
+    max_order:
+        Recursion bound; the paper reports first-order sufficed for its
+        programs (Section 5.3), higher orders are the fallback.
+    component_factory:
+        Optional builder ``(order) -> estimator`` replacing the boosted
+        trees; Section 3.2 notes "the sub-model can be built by
+        different modeling techniques such as ANN and SVM" — pass e.g.
+        ``lambda order: NeuralNetworkRegressor(random_state=order)`` to
+        stack MLP components instead.  Distinct randomness per order is
+        the caller's responsibility when overriding.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 600,
+        learning_rate: float = 0.05,
+        tree_complexity: int = 5,
+        subsample: float = 0.5,
+        target_accuracy: float = 0.90,
+        max_order: int = 3,
+        validation_fraction: float = 0.2,
+        patience: int = 200,
+        random_state: int = 0,
+        component_factory=None,
+    ):
+        if max_order < 1:
+            raise ValueError("max_order must be >= 1")
+        if not 0.0 < target_accuracy < 1.0:
+            raise ValueError("target_accuracy must be in (0, 1)")
+        self.n_trees = n_trees
+        self.learning_rate = learning_rate
+        self.tree_complexity = tree_complexity
+        self.subsample = subsample
+        self.target_accuracy = target_accuracy
+        self.max_order = max_order
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self.random_state = random_state
+        self.component_factory = component_factory
+
+        self._components: List[object] = []
+        self._weights: Optional[np.ndarray] = None
+        self.order_: int = 0
+        self.holdout_error_: float = np.inf
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "HierarchicalModel":
+        """Fit on features ``X`` and log-time targets ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) < 8:
+            raise ValueError("need at least 8 samples")
+        rng = np.random.default_rng(self.random_state)
+
+        # HM's own holdout, used both to weight components and to decide
+        # whether another order is needed.
+        n_val = max(2, int(round(len(X) * self.validation_fraction)))
+        order_idx = rng.permutation(len(X))
+        val_idx, train_idx = order_idx[:n_val], order_idx[n_val:]
+        X_train, y_train = X[train_idx], y[train_idx]
+        X_val, y_val = X[val_idx], y[val_idx]
+        measured_val = np.exp(y_val)
+
+        self._components = []
+        component_val_preds: List[np.ndarray] = []
+        self.order_ = 0
+
+        for order in range(1, self.max_order + 1):
+            component = self._build_component(order)
+            component.fit(X_train, y_train)
+            self._components.append(component)
+            component_val_preds.append(component.predict(X_val))
+            self.order_ = order
+
+            self._weights = self._combine(component_val_preds, y_val)
+            blended = self._blend(component_val_preds)
+            self.holdout_error_ = mean_relative_error(np.exp(blended), measured_val)
+            if (1.0 - self.holdout_error_) >= self.target_accuracy:
+                break
+        return self
+
+    # ------------------------------------------------------------------
+    def _build_component(self, order: int):
+        """One sub-model with order-specific randomness (Algorithm 1's
+        TM1/TM2 "call the same function but ... we introduce randomness")."""
+        if self.component_factory is not None:
+            return self.component_factory(order)
+        return GradientBoostedTrees(
+            n_trees=self.n_trees,
+            learning_rate=self.learning_rate,
+            tree_complexity=self.tree_complexity,
+            subsample=self.subsample,
+            validation_fraction=self.validation_fraction,
+            patience=self.patience,
+            random_state=self.random_state + 7919 * order,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _combine(predictions: List[np.ndarray], y_val: np.ndarray) -> np.ndarray:
+        """Non-negative least-squares stacking weights (β coefficients)."""
+        if len(predictions) == 1:
+            return np.array([1.0])
+        A = np.column_stack(predictions)
+        weights, _ = nnls(A, y_val)
+        if weights.sum() <= 0:
+            # Degenerate holdout: fall back to a plain average.
+            return np.full(len(predictions), 1.0 / len(predictions))
+        return weights
+
+    def _blend(self, predictions: List[np.ndarray]) -> np.ndarray:
+        assert self._weights is not None
+        stacked = np.column_stack(predictions)
+        return stacked @ self._weights
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._components or self._weights is None:
+            raise RuntimeError("model is not fitted")
+        predictions = [c.predict(X) for c in self._components]
+        return self._blend(predictions)
+
+    @property
+    def n_components(self) -> int:
+        return len(self._components)

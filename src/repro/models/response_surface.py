@@ -1,0 +1,69 @@
+"""Response-surface model (the RS baseline [10]).
+
+A second-order polynomial: intercept, linear, squared, and pairwise
+interaction terms, fitted by ridge-regularized least squares.  With 42
+inputs the full quadratic has ~950 coefficients — exactly the kind of
+fixed-form global model that the paper shows cannot track the
+configuration response of an IMC program (Figure 3: 22-23% error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ResponseSurface:
+    """Quadratic polynomial regression with ridge regularization.
+
+    Parameters
+    ----------
+    ridge:
+        L2 penalty on all non-intercept coefficients.
+    interactions:
+        Include pairwise cross terms (the classic RSM form).
+    """
+
+    def __init__(self, ridge: float = 1e-2, interactions: bool = True):
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.ridge = ridge
+        self.interactions = interactions
+        self._coef = None
+        self._x_mean = self._x_std = None
+
+    # ------------------------------------------------------------------
+    def _expand(self, Xs: np.ndarray) -> np.ndarray:
+        n, d = Xs.shape
+        blocks = [np.ones((n, 1)), Xs, Xs**2]
+        if self.interactions:
+            iu, ju = np.triu_indices(d, k=1)
+            blocks.append(Xs[:, iu] * Xs[:, ju])
+        return np.concatenate(blocks, axis=1)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ResponseSurface":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) < 2:
+            raise ValueError("need at least 2 samples")
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0) + 1e-9
+        Phi = self._expand((X - self._x_mean) / self._x_std)
+        penalty = self.ridge * np.eye(Phi.shape[1])
+        penalty[0, 0] = 0.0  # never shrink the intercept
+        gram = Phi.T @ Phi + penalty
+        self._coef = np.linalg.solve(gram, Phi.T @ y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("model is not fitted")
+        Phi = self._expand((np.asarray(X, dtype=float) - self._x_mean) / self._x_std)
+        return Phi @ self._coef
+
+    @property
+    def n_terms(self) -> int:
+        if self._coef is None:
+            raise RuntimeError("model is not fitted")
+        return len(self._coef)

@@ -1,0 +1,281 @@
+"""CART regression trees with histogram-binned split search.
+
+The HM sub-models are regression trees (Section 3.2, citing Lewis'
+CART [22]); the paper controls their size through *tree complexity*
+``tc`` — "the number of nodes in a tree" that are split, i.e. the number
+of internal nodes (a ``tc = 1`` tree is a stump, Figure 8a).  Trees grow
+*best-first*: the leaf with the largest variance-reduction gain is split
+next, so a budget of ``tc`` splits lands where it reduces error most.
+
+Split search uses pre-binned features (:class:`BinnedDataset`): binning
+is paid once per training set, after which each candidate split costs a
+bincount rather than a sort — essential when boosting fits thousands of
+trees (``nt`` up to 12 000 in Figure 8).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+#: Default number of histogram bins per feature.
+DEFAULT_BINS = 64
+
+
+class BinnedDataset:
+    """Feature matrix pre-binned for fast split search.
+
+    Bin edges are quantiles of each feature, so splits adapt to the
+    feature's empirical distribution (encoded configurations are uniform
+    in [0,1], but datasize and derived features need not be).
+    """
+
+    def __init__(self, X: np.ndarray, max_bins: int = DEFAULT_BINS):
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if not 2 <= max_bins <= 255:
+            raise ValueError("max_bins must be in [2, 255]")
+        self.n_samples, self.n_features = X.shape
+        self.max_bins = max_bins
+        self.edges: List[np.ndarray] = []
+        codes = np.empty(X.shape, dtype=np.uint8)
+        quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+        for j in range(self.n_features):
+            edges = np.unique(np.quantile(X[:, j], quantiles))
+            self.edges.append(edges)
+            codes[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        self.codes = codes
+        self.n_bins = np.array([len(e) + 1 for e in self.edges], dtype=np.int64)
+
+    def bin_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Bin new samples with the training edges."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError(f"expected (n, {self.n_features}) matrix")
+        codes = np.empty(X.shape, dtype=np.uint8)
+        for j in range(self.n_features):
+            codes[:, j] = np.searchsorted(self.edges[j], X[:, j], side="right")
+        return codes
+
+    def threshold(self, feature: int, bin_index: int) -> float:
+        """Real-valued threshold for 'go left if code <= bin_index'."""
+        edges = self.edges[feature]
+        if bin_index >= len(edges):
+            return np.inf
+        return float(edges[bin_index])
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    bin_threshold: int = -1
+    threshold: float = np.inf
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class RegressionTree:
+    """Best-first CART limited to ``tree_complexity`` internal splits.
+
+    Parameters
+    ----------
+    tree_complexity:
+        Number of split (internal) nodes — the paper's ``tc``.
+    min_samples_leaf:
+        Minimum samples on each side of a split.
+    max_bins:
+        Histogram resolution when the tree bins its own data; ignored
+        when fitted through :meth:`fit_binned`.
+    """
+
+    def __init__(
+        self,
+        tree_complexity: int = 5,
+        min_samples_leaf: int = 5,
+        max_bins: int = DEFAULT_BINS,
+        split_features: Optional[int] = None,
+        random_state: int = 0,
+    ):
+        if tree_complexity < 1:
+            raise ValueError("tree_complexity must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if split_features is not None and split_features < 1:
+            raise ValueError("split_features must be >= 1")
+        self.tree_complexity = tree_complexity
+        self.min_samples_leaf = min_samples_leaf
+        self.max_bins = max_bins
+        #: Random-forest style mtry: candidate features drawn fresh at
+        #: every split (None = consider all features at each split).
+        self.split_features = split_features
+        self.random_state = random_state
+        self._rng = np.random.default_rng(random_state)
+        self._nodes: List[_Node] = []
+        self._binner: Optional[BinnedDataset] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        binner = BinnedDataset(np.asarray(X, dtype=float), self.max_bins)
+        return self.fit_binned(binner, np.asarray(y, dtype=float))
+
+    def fit_binned(
+        self,
+        binner: BinnedDataset,
+        y: np.ndarray,
+        sample_indices: Optional[np.ndarray] = None,
+        feature_indices: Optional[np.ndarray] = None,
+    ) -> "RegressionTree":
+        """Fit on pre-binned data (the boosting/forest fast path).
+
+        ``sample_indices`` selects a bootstrap sample; ``feature_indices``
+        restricts candidate features (random-forest style).
+        """
+        y = np.asarray(y, dtype=float)
+        if len(y) != binner.n_samples:
+            raise ValueError("y length must match the binned dataset")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._binner = binner
+        idx = (
+            np.arange(binner.n_samples)
+            if sample_indices is None
+            else np.asarray(sample_indices)
+        )
+        features = (
+            np.arange(binner.n_features)
+            if feature_indices is None
+            else np.asarray(feature_indices)
+        )
+
+        self._nodes = [_Node(value=float(np.mean(y[idx])))]
+        # Best-first frontier: (-gain, tiebreak, node_id, idx, split_info)
+        frontier: list = []
+        counter = itertools.count()
+        first = self._best_split(binner, y, idx, features)
+        if first is not None:
+            heapq.heappush(frontier, (-first[0], next(counter), 0, idx, first))
+
+        splits_done = 0
+        while frontier and splits_done < self.tree_complexity:
+            neg_gain, _, node_id, node_idx, split = heapq.heappop(frontier)
+            gain, feature, bin_threshold, left_idx, right_idx = split
+            node = self._nodes[node_id]
+            node.feature = int(feature)
+            node.bin_threshold = int(bin_threshold)
+            node.threshold = binner.threshold(int(feature), int(bin_threshold))
+            node.left = len(self._nodes)
+            self._nodes.append(_Node(value=float(np.mean(y[left_idx]))))
+            node.right = len(self._nodes)
+            self._nodes.append(_Node(value=float(np.mean(y[right_idx]))))
+            splits_done += 1
+
+            for child_id, child_idx in ((node.left, left_idx), (node.right, right_idx)):
+                child_split = self._best_split(binner, y, child_idx, features)
+                if child_split is not None:
+                    heapq.heappush(
+                        frontier,
+                        (-child_split[0], next(counter), child_id, child_idx, child_split),
+                    )
+        return self
+
+    # ------------------------------------------------------------------
+    def _best_split(
+        self,
+        binner: BinnedDataset,
+        y: np.ndarray,
+        idx: np.ndarray,
+        features: np.ndarray,
+    ):
+        """Best (gain, feature, bin, left_idx, right_idx) or None.
+
+        Gain is the decrease in sum of squared errors from splitting,
+        computed from cumulative histogram sums.
+        """
+        n = len(idx)
+        if n < 2 * self.min_samples_leaf:
+            return None
+        if self.split_features is not None and self.split_features < len(features):
+            features = self._rng.choice(
+                features, size=self.split_features, replace=False
+            )
+        y_node = y[idx]
+        total_sum = y_node.sum()
+        best_gain = 1e-12
+        best = None
+        codes = binner.codes[idx]
+        for feature in features:
+            nb = int(binner.n_bins[feature])
+            if nb < 2:
+                continue
+            col = codes[:, feature]
+            counts = np.bincount(col, minlength=nb).astype(float)
+            sums = np.bincount(col, weights=y_node, minlength=nb)
+            left_counts = np.cumsum(counts)[:-1]
+            left_sums = np.cumsum(sums)[:-1]
+            right_counts = n - left_counts
+            right_sums = total_sum - left_sums
+            valid = (left_counts >= self.min_samples_leaf) & (
+                right_counts >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = (
+                    left_sums**2 / left_counts
+                    + right_sums**2 / right_counts
+                    - total_sum**2 / n
+                )
+            gain = np.where(valid, gain, -np.inf)
+            j = int(np.argmax(gain))
+            if gain[j] > best_gain:
+                best_gain = float(gain[j])
+                mask = col <= j
+                best = (best_gain, int(feature), j, idx[mask], idx[~mask])
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._binner is None:
+            raise RuntimeError("tree is not fitted")
+        return self.predict_binned(self._binner.bin_matrix(np.asarray(X, dtype=float)))
+
+    def predict_binned(self, codes: np.ndarray) -> np.ndarray:
+        """Predict from pre-binned codes (fast path for ensembles)."""
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        n = len(codes)
+        out = np.empty(n, dtype=float)
+        node_ids = np.zeros(n, dtype=np.int64)
+        active = np.arange(n)
+        while len(active):
+            still = []
+            for node_id in np.unique(node_ids[active]):
+                node = self._nodes[node_id]
+                members = active[node_ids[active] == node_id]
+                if node.is_leaf:
+                    out[members] = node.value
+                    continue
+                go_left = codes[members, node.feature] <= node.bin_threshold
+                node_ids[members[go_left]] = node.left
+                node_ids[members[~go_left]] = node.right
+                still.append(members)
+            active = np.concatenate(still) if still else np.empty(0, dtype=np.int64)
+        return out
+
+    @property
+    def n_internal_nodes(self) -> int:
+        return sum(1 for node in self._nodes if not node.is_leaf)
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for node in self._nodes if node.is_leaf)

@@ -1,0 +1,16 @@
+"""On-Disk cluster Computing (Hadoop/MapReduce-style) simulator.
+
+Section 2.2.1's motivation study (Figure 2) contrasts Spark's
+configuration sensitivity with Hadoop's: the same programs (KMeans,
+PageRank) run as chains of MapReduce jobs that materialize every
+intermediate result to disk.  Because the disk traffic is a
+configuration-independent floor — and the ~10 Hadoop knobs only modulate
+spill counts, sort passes, and compression around it — execution-time
+*variance* under random configurations grows far more slowly with input
+size than Spark's.  This package provides that substrate.
+"""
+
+from repro.odc.confspace import HADOOP_CONF_SPACE, hadoop_configuration_space
+from repro.odc.simulator import OdcSimulator
+
+__all__ = ["HADOOP_CONF_SPACE", "OdcSimulator", "hadoop_configuration_space"]

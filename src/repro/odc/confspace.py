@@ -1,0 +1,68 @@
+"""The ~10 performance-critical Hadoop knobs (the paper's "around 10").
+
+The selection follows the classic Hadoop-tuning literature the paper
+cites (RFHOC, Starfish): sort buffer sizing, spill thresholds, merge
+fan-in, reducer count, container memory, shuffle parallelism, and
+compression.
+"""
+
+from __future__ import annotations
+
+from repro.common.space import (
+    BoolParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntParameter,
+)
+
+_PARAMETERS = [
+    IntParameter(
+        "mapreduce.task.io.sort.mb", 50, 2000, 100,
+        "Map-side sort buffer, in MB.",
+    ),
+    IntParameter(
+        "mapreduce.task.io.sort.factor", 10, 100, 10,
+        "Number of spill files merged at once.",
+    ),
+    FloatParameter(
+        "mapreduce.map.sort.spill.percent", 0.5, 0.9, 0.8,
+        "Sort-buffer fill fraction that triggers a spill.",
+    ),
+    IntParameter(
+        "mapreduce.job.reduces", 8, 96, 8,
+        "Number of reduce tasks per job.",
+    ),
+    IntParameter(
+        "mapreduce.map.memory.mb", 512, 8192, 1024,
+        "Map container memory, in MB.",
+    ),
+    IntParameter(
+        "mapreduce.reduce.memory.mb", 512, 8192, 1024,
+        "Reduce container memory, in MB.",
+    ),
+    BoolParameter(
+        "mapreduce.map.output.compress", False,
+        "Whether to compress intermediate map output.",
+    ),
+    IntParameter(
+        "mapreduce.reduce.shuffle.parallelcopies", 5, 50, 5,
+        "Concurrent fetch threads per reducer.",
+    ),
+    FloatParameter(
+        "mapreduce.reduce.input.buffer.percent", 0.0, 0.8, 0.0,
+        "Fraction of reduce heap that may hold map outputs during reduce.",
+    ),
+    IntParameter(
+        "io.file.buffer.size", 4, 128, 4,
+        "Stream buffer size for I/O, in KB.",
+    ),
+]
+
+
+def hadoop_configuration_space() -> ConfigurationSpace:
+    """Build a fresh copy of the ODC knob space."""
+    return ConfigurationSpace(_PARAMETERS, name="hadoop-odc")
+
+
+#: Module-level singleton (immutable).
+HADOOP_CONF_SPACE = hadoop_configuration_space()

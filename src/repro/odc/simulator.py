@@ -1,0 +1,173 @@
+"""MapReduce chain simulator for the Figure 2 motivation study.
+
+Each iterative program runs as a chain of MapReduce jobs.  Every job
+pays the full on-disk materialization: read input from HDFS, spill/merge
+map output, shuffle it, merge on the reducer, write output back to HDFS.
+That disk floor is configuration-independent; the knobs only modulate
+second-order terms (spill counts, merge passes, fetch parallelism,
+compression CPU/bytes).  Consequently execution-time *variance* across
+random configurations is a modest, slowly-growing fraction of the mean —
+the ODC half of the paper's Figure 2 contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.common.space import Configuration
+from repro.common.units import KB, MB
+from repro.odc.confspace import HADOOP_CONF_SPACE
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+
+#: Per-job fixed overhead: JVM spin-up for containers, job setup/commit.
+_JOB_SETUP_SECONDS = 18.0
+#: Map/reduce CPU seconds per MB (KMeans-distance-like work).
+_CPU_SECONDS_PER_MB = {"KM": 0.020, "PR": 0.016, "generic": 0.018}
+#: Shuffle bytes per input byte per job.
+_SHUFFLE_RATIO = {"KM": 0.002, "PR": 0.5, "generic": 0.2}
+#: HDFS output bytes per input byte per job (KMeans writes centroids only).
+_OUTPUT_RATIO = {"KM": 0.02, "PR": 0.3, "generic": 0.2}
+#: MR jobs per program run (one per iteration plus setup/teardown jobs).
+_JOBS_PER_RUN = {"KM": 11, "PR": 9, "generic": 3}
+
+
+@dataclass(frozen=True)
+class OdcRunResult:
+    """One simulated Hadoop execution."""
+
+    program: str
+    datasize_bytes: float
+    seconds: float
+    num_jobs: int
+
+
+class OdcSimulator:
+    """Runs Hadoop-style iterative programs under ODC configurations."""
+
+    def __init__(self, cluster: ClusterSpec = PAPER_CLUSTER):
+        self.cluster = cluster
+
+    def run(self, program: str, datasize_bytes: float, config) -> OdcRunResult:
+        """Execute ``program`` over ``datasize_bytes`` of input.
+
+        ``program`` is "KM", "PR", or anything else (treated as a generic
+        three-job pipeline).  ``config`` is a configuration of
+        :data:`HADOOP_CONF_SPACE` or a dict of overrides.
+        """
+        conf = (
+            config
+            if isinstance(config, Configuration)
+            else HADOOP_CONF_SPACE.from_dict(dict(config or {}))
+        )
+        key = program if program in _JOBS_PER_RUN else "generic"
+        rng = derive_rng(
+            "odcsim", program, datasize_bytes,
+            HADOOP_CONF_SPACE.encode(conf).tobytes(),
+        )
+
+        num_jobs = _JOBS_PER_RUN[key]
+        per_job = self._job_seconds(key, datasize_bytes, conf, rng)
+        total = per_job * num_jobs
+        total *= float(rng.lognormal(mean=0.0, sigma=0.05))
+        return OdcRunResult(
+            program=program,
+            datasize_bytes=datasize_bytes,
+            seconds=total,
+            num_jobs=num_jobs,
+        )
+
+    # ------------------------------------------------------------------
+    def _job_seconds(
+        self, key: str, data: float, conf: Configuration, rng: np.random.Generator
+    ) -> float:
+        cluster = self.cluster
+        map_tasks = max(1, int(math.ceil(data / cluster.hdfs_block_bytes)))
+        reduce_tasks = conf["mapreduce.job.reduces"]
+
+        # Containers per node are memory-bound; Hadoop schedulers pack by
+        # container size, so big containers reduce parallelism.
+        container_mb = max(
+            conf["mapreduce.map.memory.mb"], conf["mapreduce.reduce.memory.mb"]
+        )
+        slots_per_node = max(
+            2,
+            min(
+                cluster.cores_per_node,
+                int(cluster.usable_memory_per_node_bytes / (container_mb * MB)),
+            ),
+        )
+        slots = slots_per_node * cluster.worker_nodes
+        disk_share = cluster.disk_share(min(slots_per_node, 24))
+
+        bytes_per_map = data / map_tasks
+        shuffle_bytes = data * _SHUFFLE_RATIO[key]
+        shuffle_per_map = shuffle_bytes / map_tasks
+
+        # --- map phase --------------------------------------------------
+        cpu = (bytes_per_map / MB) * _CPU_SECONDS_PER_MB[key]
+        read = bytes_per_map / disk_share
+
+        sort_buffer = min(
+            conf["mapreduce.task.io.sort.mb"] * MB,
+            0.6 * conf["mapreduce.map.memory.mb"] * MB,
+        )
+        usable_buffer = sort_buffer * conf["mapreduce.map.sort.spill.percent"]
+        spills = max(1, int(math.ceil(shuffle_per_map / max(usable_buffer, MB))))
+        merge_passes = max(
+            1,
+            int(math.ceil(math.log(max(spills, 2))
+                          / math.log(conf["mapreduce.task.io.sort.factor"]))),
+        )
+        compress = conf["mapreduce.map.output.compress"]
+        wire_ratio = 0.5 if compress else 1.0
+        compress_cpu = (shuffle_per_map / MB) * (0.004 if compress else 0.0)
+        # One spill: a single buffered write.  Multiple spills: each merge
+        # pass re-reads and re-writes the whole map output.
+        rewrite_factor = 1.0 if spills == 1 else 1.0 + 2.0 * merge_passes
+        spill_io = shuffle_per_map * wire_ratio * rewrite_factor / disk_share
+        buffer_penalty = 1.0 + 0.3 * (4.0 * KB) / max(
+            conf["io.file.buffer.size"] * KB, 4.0 * KB
+        )
+        map_seconds = (cpu + read + compress_cpu + spill_io) * buffer_penalty
+
+        # A disk-bound map phase is limited by the cluster's aggregate
+        # disk bandwidth, not by slot count — this is why ODC runtimes
+        # barely react to container-sizing knobs (the Figure 2 contrast).
+        map_io_total = (
+            data + shuffle_bytes * wire_ratio * rewrite_factor
+        ) * buffer_penalty
+        map_cpu_total = (cpu + compress_cpu) * map_tasks
+        map_phase = (
+            max(
+                map_io_total / self.cluster.aggregate_disk_bandwidth,
+                map_cpu_total / slots,
+            )
+            + map_seconds  # last-wave tail
+        )
+
+        # --- shuffle + reduce phase --------------------------------------
+        shuffle_per_reduce = shuffle_bytes * wire_ratio / max(reduce_tasks, 1)
+        copies = conf["mapreduce.reduce.shuffle.parallelcopies"]
+        fetch_efficiency = min(1.0, copies / 20.0) * 0.7 + 0.3
+        net_share = cluster.network_share(min(slots_per_node, 24))
+        fetch = shuffle_per_reduce / (net_share * fetch_efficiency)
+
+        # Map outputs kept in reduce heap skip one disk round trip.
+        in_memory_fraction = conf["mapreduce.reduce.input.buffer.percent"]
+        reduce_disk = shuffle_per_reduce * (1.0 - 0.6 * in_memory_fraction) * 2.0
+        reduce_cpu = (shuffle_per_reduce / MB) * _CPU_SECONDS_PER_MB[key] * 0.5
+        write_out = (data * _OUTPUT_RATIO[key] / max(reduce_tasks, 1)) / disk_share
+        reduce_seconds = fetch + reduce_disk / disk_share + reduce_cpu + write_out
+
+        reduce_waves = math.ceil(reduce_tasks / slots)
+        reduce_phase = reduce_seconds * reduce_waves
+
+        # Straggler tail: one slow wave's worth of jitter.
+        tail = float(rng.lognormal(mean=0.0, sigma=0.15)) * 0.15 * (
+            map_seconds + reduce_seconds
+        )
+        return _JOB_SETUP_SECONDS + map_phase + reduce_phase + tail

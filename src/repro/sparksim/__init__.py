@@ -1,0 +1,38 @@
+"""A discrete cost-model simulator of Spark 1.6 on a small cluster.
+
+This package is the *measurement substrate* of the reproduction: the paper
+tuned real Spark 1.6 on a 6-node cluster; we substitute a simulator whose
+execution time is a deterministic-but-noisy, high-dimensional, nonlinear
+function of **all 41 Table-2 configuration parameters** and the input
+dataset size.  DAC (``repro.core``) treats it as a black box, exactly as
+the paper treats the real cluster.
+
+Main entry points:
+
+* :class:`~repro.sparksim.cluster.ClusterSpec` — hardware description
+  (defaults mirror the paper's 6x DELL testbed);
+* :data:`~repro.sparksim.confspace.SPARK_CONF_SPACE` — the 41-parameter
+  space of Table 2;
+* :class:`~repro.sparksim.simulator.SparkSimulator` — runs a
+  :class:`~repro.sparksim.dag.JobSpec` under a configuration and returns a
+  :class:`~repro.sparksim.simulator.RunResult` with total and per-stage
+  times, GC time, spill volume, and retry counts.
+"""
+
+from repro.sparksim.cluster import ClusterSpec
+from repro.sparksim.config import SparkConf
+from repro.sparksim.confspace import SPARK_CONF_SPACE, spark_configuration_space
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.sparksim.simulator import RunResult, SparkSimulator, StageResult
+
+__all__ = [
+    "ClusterSpec",
+    "JobSpec",
+    "RunResult",
+    "SPARK_CONF_SPACE",
+    "SparkConf",
+    "SparkSimulator",
+    "StageResult",
+    "StageSpec",
+    "spark_configuration_space",
+]

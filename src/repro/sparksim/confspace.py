@@ -1,0 +1,203 @@
+"""The 41 Spark configuration parameters of Table 2.
+
+Each entry reproduces the paper's Table 2 exactly: name, one-line
+description, tuning range, and Spark-1.6 default.  Two quirks of the
+table are preserved:
+
+* ``spark.memory.offHeap.size`` has range 10-1000 MB but default 0 (the
+  feature is off by default);
+* ``spark.storage.memoryMapThreshold`` has range 50-500 MB but default
+  2 MB;
+* ``spark.scheduler.revive.interval`` has range 2-50 s but default 1 s.
+
+:class:`~repro.common.space.Configuration` accepts a default that sits
+outside the tuning range, so these are representable as-is.
+"""
+
+from __future__ import annotations
+
+from repro.common.space import (
+    BoolParameter,
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntParameter,
+)
+
+_PARAMETERS = [
+    IntParameter(
+        "spark.reducer.maxSizeInFlight", 2, 128, 48,
+        "Maximum size of map outputs to fetch simultaneously from each reduce task, in MB.",
+    ),
+    IntParameter(
+        "spark.shuffle.file.buffer", 2, 128, 32,
+        "Size of the in-memory buffer for each shuffle file output stream, in KB.",
+    ),
+    IntParameter(
+        "spark.shuffle.sort.bypassMergeThreshold", 100, 1000, 200,
+        "Avoid merge-sorting data if there is no map-side aggregation.",
+    ),
+    IntParameter(
+        "spark.speculation.interval", 10, 1000, 100,
+        "How often Spark will check for tasks to speculate, in milliseconds.",
+    ),
+    FloatParameter(
+        "spark.speculation.multiplier", 1.0, 5.0, 1.5,
+        "How many times slower a task is than the median to be considered for speculation.",
+    ),
+    FloatParameter(
+        "spark.speculation.quantile", 0.0, 1.0, 0.75,
+        "Percentage of tasks which must be complete before speculation is enabled.",
+    ),
+    IntParameter(
+        "spark.broadcast.blockSize", 2, 128, 4,
+        "Size of each piece of a block for TorrentBroadcastFactory, in MB.",
+    ),
+    CategoricalParameter(
+        "spark.io.compression.codec", ("snappy", "lzf", "lz4"), "snappy",
+        "The codec used to compress internal data such as RDD partitions.",
+    ),
+    IntParameter(
+        "spark.io.compression.lz4.blockSize", 2, 128, 32,
+        "Block size used in LZ4 compression, in KB.",
+    ),
+    IntParameter(
+        "spark.io.compression.snappy.blockSize", 2, 128, 32,
+        "Block size used in snappy compression, in KB.",
+    ),
+    BoolParameter(
+        "spark.kryo.referenceTracking", True,
+        "Whether to track references to the same object when serializing with Kryo.",
+    ),
+    IntParameter(
+        "spark.kryoserializer.buffer.max", 8, 128, 64,
+        "Maximum allowable size of Kryo serialization buffer, in MB.",
+    ),
+    IntParameter(
+        "spark.kryoserializer.buffer", 2, 128, 64,
+        "Initial size of Kryo's serialization buffer, in KB.",
+    ),
+    IntParameter(
+        "spark.driver.cores", 1, 12, 1,
+        "Number of cores to use for the driver process.",
+    ),
+    IntParameter(
+        "spark.executor.cores", 1, 12, 12,
+        "The number of cores to use on each executor.",
+    ),
+    IntParameter(
+        "spark.driver.memory", 1024, 12288, 1024,
+        "Amount of memory to use for the driver process, in MB.",
+    ),
+    IntParameter(
+        "spark.executor.memory", 1024, 12288, 1024,
+        "Amount of memory to use per executor process, in MB.",
+    ),
+    IntParameter(
+        "spark.storage.memoryMapThreshold", 50, 500, 2,
+        "Size of a block above which Spark memory-maps when reading from disk, in MB.",
+    ),
+    IntParameter(
+        "spark.akka.failure.detector.threshold", 100, 500, 300,
+        "Set to a larger value to disable the failure detector in Akka.",
+    ),
+    IntParameter(
+        "spark.akka.heartbeat.pauses", 1000, 10000, 6000,
+        "Acceptable heart-beat pause for Akka, in seconds.",
+    ),
+    IntParameter(
+        "spark.akka.heartbeat.interval", 200, 5000, 1000,
+        "Heart-beat interval for Akka, in seconds.",
+    ),
+    IntParameter(
+        "spark.akka.threads", 1, 8, 4,
+        "Number of actor threads to use for communication.",
+    ),
+    IntParameter(
+        "spark.network.timeout", 20, 500, 120,
+        "Default timeout for all network interactions, in seconds.",
+    ),
+    IntParameter(
+        "spark.locality.wait", 1, 10, 3,
+        "How long to wait to launch a data-local task before giving up, in seconds.",
+    ),
+    IntParameter(
+        "spark.scheduler.revive.interval", 2, 50, 1,
+        "The interval for the scheduler to revive worker resource offers, in seconds.",
+    ),
+    IntParameter(
+        "spark.task.maxFailures", 1, 8, 4,
+        "Number of task failures before giving up on the job.",
+    ),
+    BoolParameter(
+        "spark.shuffle.compress", True,
+        "Whether to compress map output files.",
+    ),
+    BoolParameter(
+        "spark.shuffle.consolidateFiles", False,
+        "If true, consolidates intermediate files created during a shuffle.",
+    ),
+    FloatParameter(
+        "spark.memory.fraction", 0.5, 1.0, 0.75,
+        "Fraction of (heap space - 300 MB) used for execution and storage.",
+    ),
+    BoolParameter(
+        "spark.shuffle.spill", True,
+        "Responsible for enabling/disabling spilling.",
+    ),
+    BoolParameter(
+        "spark.shuffle.spill.compress", True,
+        "Whether to compress data spilled during shuffles.",
+    ),
+    BoolParameter(
+        "spark.speculation", False,
+        "If true, performs speculative execution of tasks.",
+    ),
+    BoolParameter(
+        "spark.broadcast.compress", True,
+        "Whether to compress broadcast variables before sending them.",
+    ),
+    BoolParameter(
+        "spark.rdd.compress", False,
+        "Whether to compress serialized RDD partitions.",
+    ),
+    CategoricalParameter(
+        "spark.serializer", ("java", "kryo"), "java",
+        "Class used for serializing objects sent over the network or cached in serialized form.",
+    ),
+    FloatParameter(
+        "spark.memory.storageFraction", 0.5, 1.0, 0.5,
+        "Amount of storage memory immune to eviction, as a fraction of spark.memory.fraction.",
+    ),
+    BoolParameter(
+        "spark.localExecution.enabled", False,
+        "Enables Spark to run certain jobs on the driver, without sending tasks to the cluster.",
+    ),
+    IntParameter(
+        "spark.default.parallelism", 8, 50, 24,
+        "The largest number of partitions in a parent RDD for distributed shuffle operations.",
+    ),
+    BoolParameter(
+        "spark.memory.offHeap.enabled", False,
+        "If true, Spark will attempt to use off-heap memory for certain operations.",
+    ),
+    CategoricalParameter(
+        "spark.shuffle.manager", ("sort", "hash"), "sort",
+        "Implementation to use for shuffling data.",
+    ),
+    IntParameter(
+        "spark.memory.offHeap.size", 10, 1000, 0,
+        "The absolute amount of memory usable for off-heap allocation, in MB.",
+    ),
+]
+
+
+def spark_configuration_space() -> ConfigurationSpace:
+    """Build a fresh copy of the Table 2 configuration space."""
+    return ConfigurationSpace(_PARAMETERS, name="spark-1.6-table2")
+
+
+#: Module-level singleton; the space is immutable, so sharing is safe.
+SPARK_CONF_SPACE = spark_configuration_space()
+
+assert len(SPARK_CONF_SPACE) == 41, "Table 2 lists exactly 41 parameters"

@@ -1,0 +1,103 @@
+"""JVM garbage-collection cost model.
+
+Both of the paper's deep-dive analyses (Figures 13 and 14) attribute the
+bulk of DAC's win to reduced garbage-collection time, and note that with
+DAC-tuned configurations "the garbage collection time of applications
+increases more slowly" with dataset size.  The model therefore has to
+capture the two first-order drivers of JVM GC cost:
+
+* **allocation rate** — every byte deserialized, shuffled or aggregated
+  churns the young generation; GC work is proportional to allocated
+  bytes;
+* **heap occupancy** — the cost *per collection* explodes as live data
+  (cached RDD partitions + task working sets + user objects) approaches
+  the heap size, because full GCs copy the live set repeatedly.
+
+Off-heap memory (``spark.memory.offHeap.*``) removes bytes from the
+heap entirely; a ``spark.memory.fraction`` near 1.0 starves the user
+region and raises occupancy.  The occupancy term uses the classic
+``occ / (1 - occ)`` shape of copying-collector cost analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import MB
+from repro.sparksim.config import RESERVED_MEMORY_BYTES, SparkConf
+
+
+@dataclass(frozen=True)
+class GcModel:
+    """GC seconds charged to a task, given its allocation and live bytes."""
+
+    conf: SparkConf
+
+    #: GC seconds per allocated GB at low occupancy (young-gen only).
+    BASE_SECONDS_PER_GB: float = 0.055
+    #: Max multiplier from occupancy (caps the occ/(1-occ) blow-up at a
+    #: full-GC-thrash regime where the collector dominates the CPU).
+    MAX_OCCUPANCY_FACTOR: float = 80.0
+
+    def heap_bytes(self) -> float:
+        return float(self.conf.executor_memory)
+
+    def occupancy(
+        self,
+        live_task_bytes: float,
+        resident_cache_bytes_per_executor: float,
+        user_object_bytes: float,
+    ) -> float:
+        """Live-bytes fraction of the executor heap during a task.
+
+        ``live_task_bytes`` is one task's working set; all
+        ``executor.cores`` tasks run concurrently, so the executor sees
+        ``cores x`` that much, plus resident cached partitions, plus user
+        objects, plus Spark's own reserved structures.  Off-heap storage
+        is subtracted because it never enters the collector's view.
+        """
+        cores = self.conf.executor_cores
+        live = (
+            live_task_bytes * cores
+            + resident_cache_bytes_per_executor
+            + user_object_bytes * cores
+            + RESERVED_MEMORY_BYTES * 0.6
+        )
+        live -= min(self.conf.off_heap_size, live * 0.5)
+        return float(min(max(live / self.heap_bytes(), 0.0), 0.995))
+
+    def occupancy_factor(self, occ: float) -> float:
+        """Cost multiplier from heap occupancy (1 at empty heap).
+
+        The +0.05 floor in the denominator softens the asymptote: the
+        thrash regime is expensive but not a step function — live sets
+        hovering at the heap limit degrade gradually in practice.
+        """
+        factor = 1.0 + 2.0 * (occ * occ) / (max(1.0 - occ, 0.0) + 0.05)
+        return float(min(factor, self.MAX_OCCUPANCY_FACTOR))
+
+    def gc_seconds(
+        self,
+        allocated_bytes: float,
+        live_task_bytes: float,
+        resident_cache_bytes_per_executor: float,
+        user_object_bytes: float = 0.0,
+    ) -> float:
+        """Total GC seconds one task suffers."""
+        occ = self.occupancy(
+            live_task_bytes, resident_cache_bytes_per_executor, user_object_bytes
+        )
+        per_gb = self.BASE_SECONDS_PER_GB * self.occupancy_factor(occ)
+        return float(allocated_bytes / (1024.0 * MB) * per_gb)
+
+    def max_pause_seconds(self, gc_seconds_per_task: float, occ: float) -> float:
+        """Worst single stop-the-world pause a task experiences.
+
+        Full-GC pauses scale with the live set; used by the network model
+        to decide whether Akka's failure detector declares the executor
+        lost (``spark.akka.heartbeat.pauses``).
+        """
+        if gc_seconds_per_task <= 0:
+            return 0.0
+        pause = 0.05 + gc_seconds_per_task * (0.25 + 0.6 * occ)
+        return float(pause)

@@ -1,0 +1,170 @@
+"""Unified memory manager model: spills, cache admission, OOM risk.
+
+Spark 1.6's UnifiedMemoryManager divides each executor heap into a
+reserved region (300 MB), a *user* region sized by
+``1 - spark.memory.fraction``, and a unified *Spark* region
+(``spark.memory.fraction``) shared between execution and storage, with
+storage protected from eviction up to ``spark.memory.storageFraction``.
+This module answers, for one task with a given working set:
+
+* how much of its working set fits in execution memory and how much
+  spills to disk (``spark.shuffle.spill``);
+* the probability the task dies with an OutOfMemoryError — the mechanism
+  behind the paper's observation that the 1 GB default executor heap
+  makes large inputs "rerun some tasks many times" (Section 5.6);
+* how much of a job's cached RDD footprint actually stays resident
+  (cache hit fraction), which drives recompute costs in iterative
+  workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sparksim.config import SparkConf
+
+
+def _sigmoid(x: float) -> float:
+    # Clamp to keep exp() in range.
+    x = min(max(x, -40.0), 40.0)
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+def _risk(pressure: float, slope: float, center: float) -> float:
+    """Sigmoid risk curve anchored at exactly zero for zero pressure.
+
+    A raw sigmoid has a nonzero floor at pressure 0, which would give
+    every healthy task a phantom failure rate; subtracting the floor and
+    renormalizing keeps the curve smooth while making no-pressure tasks
+    genuinely safe.
+    """
+    raw = _sigmoid(slope * (pressure - center))
+    floor = _sigmoid(-slope * center)
+    return max(0.0, (raw - floor) / (1.0 - floor))
+
+
+@dataclass(frozen=True)
+class TaskMemoryOutcome:
+    """How one task's memory demand resolves.
+
+    Attributes
+    ----------
+    spill_bytes:
+        Deserialized bytes that overflow execution memory and are spilled
+        (0 when spilling is disabled — then the overflow converts into
+        OOM risk instead).
+    oom_probability:
+        Probability this attempt dies with an OOM.
+    pressure:
+        working set / available execution memory; >1 means overflow.
+    """
+
+    spill_bytes: float
+    oom_probability: float
+    pressure: float
+
+
+class MemoryModel:
+    """Memory behaviour of tasks under one configuration."""
+
+    #: Default fraction of a working set held in un-spillable structures
+    #: (pointer arrays, current record batches); stages override this via
+    #: ``StageSpec.unspillable_fraction``.
+    UNSPILLABLE_FRACTION = 0.08
+
+    def __init__(self, conf: SparkConf):
+        self.conf = conf
+
+    # -- caching --------------------------------------------------------
+    def storage_capacity_bytes(self) -> float:
+        """Cluster-wide storage memory available for cached RDDs."""
+        return self.conf.spark_memory_per_executor * self.conf.num_executors
+
+    def cache_hit_fraction(self, cached_bytes: float) -> float:
+        """Fraction of a cached RDD that stays memory-resident.
+
+        Storage may use the whole unified region when execution is idle,
+        but under execution pressure it is squeezed back to the protected
+        ``storageFraction`` share; we average the two regimes.
+        """
+        if cached_bytes <= 0:
+            return 1.0
+        full = self.storage_capacity_bytes()
+        protected = full * self.conf.storage_fraction
+        effective = 0.5 * (full + protected)
+        return float(min(1.0, effective / cached_bytes))
+
+    # -- per-task execution memory ---------------------------------------
+    def execution_available_per_task(
+        self, resident_cache_bytes_per_executor: float = 0.0
+    ) -> float:
+        """Execution memory one task can claim, given actual cache usage.
+
+        Unified memory management (Spark 1.6): execution may use the
+        whole Spark region minus whatever cached storage is *actually
+        resident and protected*.  ``spark.memory.storageFraction`` only
+        bites when cached blocks occupy it — with an empty cache the
+        whole region is execution's.
+        """
+        protected = min(
+            self.conf.protected_storage_per_executor,
+            max(resident_cache_bytes_per_executor, 0.0),
+        )
+        available = self.conf.spark_memory_per_executor - protected
+        per_task = available / self.conf.executor_cores
+        return max(per_task + self.conf.off_heap_size / self.conf.executor_cores, 1.0)
+
+    def task_outcome(
+        self,
+        working_set_bytes: float,
+        user_object_bytes: float = 0.0,
+        unspillable_fraction: float = UNSPILLABLE_FRACTION,
+        resident_cache_bytes_per_executor: float = 0.0,
+    ) -> TaskMemoryOutcome:
+        """Resolve one task's demand against its execution-memory share.
+
+        Parameters
+        ----------
+        working_set_bytes:
+            Deserialized bytes the task must materialize for aggregation,
+            sorting, or join buffers (spillable machinery).
+        user_object_bytes:
+            Long-lived user objects (closures, per-partition state) that
+            live in the *user* region and can never spill.
+        resident_cache_bytes_per_executor:
+            Cached RDD bytes actually occupying storage memory.
+
+        Note: ``spark.shuffle.spill`` is deliberately ignored — as of
+        Spark 1.6 the parameter is deprecated and spilling is always
+        enabled (Table 2 still lists it, and tuners must learn that it
+        does nothing).
+        """
+        available = self.execution_available_per_task(
+            resident_cache_bytes_per_executor
+        )
+        pressure = working_set_bytes / available
+
+        user_available = max(
+            self.conf.user_memory_per_executor / self.conf.executor_cores, 1.0
+        )
+        user_pressure = user_object_bytes / user_available
+
+        overflow = max(0.0, working_set_bytes - available)
+        spill_bytes = overflow
+        # Even with spilling, the unspillable slice must fit: pressure
+        # far above 1/unspillable means the in-memory skeleton alone
+        # exceeds the share.  The curve is gentle — real Spark mostly
+        # crawls (spills) rather than dies.
+        unspillable = working_set_bytes * unspillable_fraction
+        hard_pressure = unspillable / available
+        oom = min(_risk(hard_pressure, 1.2, 2.5), 0.90)
+
+        # User-region overflow OOMs regardless of spill settings; this is
+        # what punishes spark.memory.fraction -> 1.0 (no user memory left).
+        oom = 1.0 - (1.0 - oom) * (1.0 - _risk(user_pressure, 3.0, 1.3))
+        return TaskMemoryOutcome(
+            spill_bytes=spill_bytes,
+            oom_probability=float(min(oom, 0.995)),
+            pressure=pressure,
+        )

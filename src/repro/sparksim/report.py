@@ -1,0 +1,142 @@
+"""Human-readable run reports — a text-mode Spark UI.
+
+Renders a :class:`~repro.sparksim.simulator.RunResult` the way engineers
+read the Spark web UI: per-stage wall time with share-of-total bars,
+GC/compute/IO/shuffle decomposition, retry and spill diagnostics, and a
+one-line health verdict pointing at the dominant bottleneck — the same
+reading of the data that Section 5.8 performs manually for KMeans and
+TeraSort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.units import fmt_bytes, fmt_duration
+from repro.sparksim.simulator import RunResult, StageResult
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float) -> str:
+    filled = int(round(max(0.0, min(fraction, 1.0)) * _BAR_WIDTH))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """The report's verdict on where the time went."""
+
+    bottleneck: str  # "gc" | "spill" | "retries" | "shuffle" | "compute" | "io"
+    detail: str
+
+
+def diagnose(result: RunResult) -> Diagnosis:
+    """Name the dominant pathology of a run (or 'compute'/'io' if healthy)."""
+    total = max(result.seconds, 1e-9)
+    core_seconds = sum(
+        s.compute_core_seconds + s.io_core_seconds + s.shuffle_core_seconds
+        for s in result.stages
+    )
+    gc = result.gc_seconds
+
+    worst_retry = max(
+        (s.expected_attempts_per_task * s.job_rerun_factor for s in result.stages),
+        default=1.0,
+    )
+    if worst_retry > 2.0:
+        return Diagnosis(
+            "retries",
+            f"task attempts x job reruns reach {worst_retry:.1f}x — raise "
+            "spark.executor.memory or lower parallelism pressure",
+        )
+    if gc > 0.5 * core_seconds:
+        return Diagnosis(
+            "gc",
+            f"GC consumes {fmt_duration(gc)} against "
+            f"{fmt_duration(core_seconds)} of useful work — grow heaps or "
+            "reduce concurrent tasks per executor",
+        )
+    if result.spill_bytes > result.datasize_bytes:
+        return Diagnosis(
+            "spill",
+            f"{fmt_bytes(result.spill_bytes)} spilled (more than the input) — "
+            "increase execution memory or partitions",
+        )
+    shuffle = sum(s.shuffle_core_seconds for s in result.stages)
+    compute = sum(s.compute_core_seconds for s in result.stages)
+    io = sum(s.io_core_seconds for s in result.stages)
+    dominant = max((compute, "compute"), (io, "io"), (shuffle, "shuffle"))
+    return Diagnosis(dominant[1], f"{dominant[1]}-bound; no pathology detected")
+
+
+def render_run_report(result: RunResult, title: str = "") -> str:
+    """Multi-line report for one simulated execution."""
+    lines: List[str] = []
+    header = title or f"{result.program} ({fmt_bytes(result.datasize_bytes)})"
+    lines.append(f"=== {header} — total {fmt_duration(result.seconds)} ===")
+
+    total = max(result.seconds, 1e-9)
+    name_width = max((len(s.name) for s in result.stages), default=4)
+    for stage in result.stages:
+        share = stage.seconds / total
+        lines.append(
+            f"{stage.name:<{name_width}} [{_bar(share)}] "
+            f"{fmt_duration(stage.seconds):>10} ({share * 100:4.1f}%) "
+            f"x{stage.iterations:<3d} tasks={stage.num_tasks}"
+        )
+        extras = _stage_extras(stage)
+        if extras:
+            lines.append(" " * name_width + "   " + extras)
+
+    lines.append(
+        f"totals: GC {fmt_duration(result.gc_seconds)}, "
+        f"spill {fmt_bytes(result.spill_bytes)}"
+    )
+    verdict = diagnose(result)
+    lines.append(f"verdict: {verdict.bottleneck} — {verdict.detail}")
+    return "\n".join(lines)
+
+
+def _stage_extras(stage: StageResult) -> str:
+    """Second line of per-stage detail, only when something is notable."""
+    notes: List[str] = []
+    if stage.gc_seconds > 1.0:
+        notes.append(f"gc={fmt_duration(stage.gc_seconds)}")
+    if stage.spill_bytes > 0:
+        notes.append(f"spill={fmt_bytes(stage.spill_bytes)}")
+    if stage.expected_attempts_per_task > 1.05:
+        notes.append(f"attempts={stage.expected_attempts_per_task:.2f}")
+    if stage.job_rerun_factor > 1.05:
+        notes.append(f"job-reruns={stage.job_rerun_factor:.2f}")
+    return "  ".join(notes)
+
+
+def compare_runs(
+    baseline: RunResult, tuned: RunResult, labels: Tuple[str, str] = ("baseline", "tuned")
+) -> str:
+    """Side-by-side stage comparison (the Figure 13/14 reading)."""
+    lines = [
+        f"=== {baseline.program}: {labels[0]} "
+        f"{fmt_duration(baseline.seconds)} vs {labels[1]} "
+        f"{fmt_duration(tuned.seconds)} "
+        f"({baseline.seconds / max(tuned.seconds, 1e-9):.1f}x) ==="
+    ]
+    name_width = max(len(s.name) for s in baseline.stages)
+    tuned_stages = {s.name: s for s in tuned.stages}
+    for stage in baseline.stages:
+        other = tuned_stages.get(stage.name)
+        if other is None:
+            continue
+        ratio = stage.seconds / max(other.seconds, 1e-9)
+        lines.append(
+            f"{stage.name:<{name_width}} {fmt_duration(stage.seconds):>10} -> "
+            f"{fmt_duration(other.seconds):>10}  ({ratio:5.1f}x)"
+        )
+    gc_ratio = baseline.gc_seconds / max(tuned.gc_seconds, 1e-9)
+    lines.append(
+        f"{'GC':<{name_width}} {fmt_duration(baseline.gc_seconds):>10} -> "
+        f"{fmt_duration(tuned.gc_seconds):>10}  ({gc_ratio:5.1f}x)"
+    )
+    return "\n".join(lines)

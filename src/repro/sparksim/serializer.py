@@ -1,0 +1,170 @@
+"""Serialization and compression cost models.
+
+Spark 1.6 serializes data whenever it crosses an executor boundary
+(shuffle, broadcast) or is cached in serialized form, and optionally
+compresses it (``spark.io.compression.codec``).  Six of the 41 Table-2
+parameters live here:
+
+* ``spark.serializer`` (java vs. kryo), ``spark.kryo.referenceTracking``,
+  ``spark.kryoserializer.buffer``, ``spark.kryoserializer.buffer.max``;
+* ``spark.io.compression.codec`` and its per-codec block sizes.
+
+Throughput constants are calibrated to the usual folklore numbers: Kryo
+serializes roughly 3-4x faster than Java serialization and produces
+2-3x smaller payloads; snappy/lz4 are fast with moderate ratios, lzf is
+slower but slightly denser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KB, MB
+from repro.sparksim.config import SparkConf
+
+#: serialize MB/s, deserialize MB/s, on-wire bytes per deserialized byte
+_SERIALIZERS = {
+    "java": (130.0, 160.0, 1.00),
+    "kryo": (420.0, 520.0, 0.55),
+}
+
+#: compress MB/s, decompress MB/s, compressed bytes per input byte
+_CODECS = {
+    "snappy": (430.0, 1350.0, 0.55),
+    "lz4": (480.0, 1500.0, 0.52),
+    "lzf": (290.0, 850.0, 0.48),
+}
+
+#: Deserialized JVM-object bytes per raw input byte. Java object headers,
+#: boxing and pointer indirection inflate the in-memory footprint.
+_EXPANSION = {"java": 3.4, "kryo": 3.4}
+
+
+@dataclass(frozen=True)
+class SerializerModel:
+    """Per-byte costs of the configured serializer.
+
+    All ``*_seconds_per_byte`` figures are CPU time on one core at
+    ``core_speed`` 1.0.
+    """
+
+    conf: SparkConf
+
+    @property
+    def _base(self):
+        return _SERIALIZERS[self.conf.serializer]
+
+    @property
+    def _kryo_penalty(self) -> float:
+        """Multiplier > 1 for Kryo misconfiguration.
+
+        Reference tracking costs ~25%.  An initial buffer much smaller
+        than a record forces repeated buffer doubling; a small
+        ``buffer.max`` forces flushes for large records.
+        """
+        if self.conf.serializer != "kryo":
+            return 1.0
+        penalty = 1.25 if self.conf.kryo_reference_tracking else 1.0
+        buffer_kb = self.conf.kryo_buffer / KB
+        if buffer_kb < 16:
+            penalty *= 1.0 + 0.012 * (16 - buffer_kb)
+        return penalty
+
+    def serialize_seconds_per_byte(self) -> float:
+        ser_mbps, _, _ = self._base
+        return self._kryo_penalty / (ser_mbps * MB)
+
+    def deserialize_seconds_per_byte(self) -> float:
+        _, deser_mbps, _ = self._base
+        return self._kryo_penalty / (deser_mbps * MB)
+
+    def wire_ratio(self) -> float:
+        """Serialized bytes per deserialized-object byte (before codec)."""
+        return self._base[2]
+
+    def record_failure_risk(self, record_bytes: float) -> float:
+        """Probability one serialization call overflows ``buffer.max``.
+
+        Kryo throws when a record exceeds the maximum buffer; workloads
+        with large records (e.g. NWeight adjacency rows) are exposed when
+        ``spark.kryoserializer.buffer.max`` is tuned down.
+        """
+        if self.conf.serializer != "kryo":
+            return 0.0
+        if record_bytes <= self.conf.kryo_buffer_max:
+            return 0.0
+        # Deterministic failure in real Kryo; expressed as a probability
+        # so the retry machinery treats it uniformly with OOM.
+        return 0.95
+
+    def memory_expansion(self) -> float:
+        """In-memory deserialized bytes per raw dataset byte."""
+        return _EXPANSION[self.conf.serializer]
+
+    def cached_bytes_per_raw_byte(self) -> float:
+        """Storage-memory footprint of a cached RDD per raw byte.
+
+        ``spark.rdd.compress`` stores partitions serialized+compressed
+        (cheap to hold, costly to reuse); otherwise caching holds live
+        deserialized objects.
+        """
+        if self.conf.rdd_compress:
+            codec = CompressionModel(self.conf)
+            return self.wire_ratio() * codec.ratio()
+        return self.memory_expansion()
+
+    def cache_reuse_seconds_per_byte(self) -> float:
+        """Extra CPU to consume one raw byte from cache.
+
+        Deserialized caches are free to reuse; ``rdd.compress`` caches pay
+        decompression + deserialization on every access (this is the
+        classic CPU-for-memory trade the knob controls).
+        """
+        if not self.conf.rdd_compress:
+            return 0.0
+        codec = CompressionModel(self.conf)
+        wire = self.wire_ratio()
+        return (
+            self.deserialize_seconds_per_byte() * wire
+            + codec.decompress_seconds_per_byte() * wire * codec.ratio()
+        )
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Per-byte costs and ratio of the configured I/O codec."""
+
+    conf: SparkConf
+
+    @property
+    def _base(self):
+        return _CODECS[self.conf.compression_codec]
+
+    def _block_factor(self) -> float:
+        """Mild efficiency curve in the codec block size.
+
+        Tiny blocks hurt ratio and add per-block overhead; very large
+        blocks stop helping and cost buffer memory.  The curve is centred
+        on the 32 KB default.
+        """
+        import math
+
+        block_kb = max(self.conf.codec_block_size / KB, 1.0)
+        return math.log2(block_kb / 32.0)
+
+    def ratio(self) -> float:
+        """Compressed bytes per input byte (lower is denser)."""
+        _, _, base_ratio = self._base
+        adjusted = base_ratio * (1.0 - 0.015 * self._block_factor())
+        return float(min(max(adjusted, 0.30), 0.95))
+
+    def compress_seconds_per_byte(self) -> float:
+        comp_mbps, _, _ = self._base
+        # Small blocks add per-block call overhead.
+        overhead = 1.0 + max(0.0, -self._block_factor()) * 0.06
+        return overhead / (comp_mbps * MB)
+
+    def decompress_seconds_per_byte(self) -> float:
+        _, decomp_mbps, _ = self._base
+        overhead = 1.0 + max(0.0, -self._block_factor()) * 0.04
+        return overhead / (decomp_mbps * MB)

@@ -1,0 +1,210 @@
+"""Per-stage task cost composition.
+
+:class:`StageCostModel` glues the component models (serialization,
+compression, memory, GC, shuffle, network) into the mean cost and risk
+profile of one task of one stage.  The scheduler then turns the per-task
+profile into a stage makespan (waves, stragglers, speculation, retries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.units import MB
+from repro.sparksim.cluster import ClusterSpec
+from repro.sparksim.config import SparkConf
+from repro.sparksim.dag import StageSpec
+from repro.sparksim.gc import GcModel
+from repro.sparksim.memory import MemoryModel
+from repro.sparksim.network import NetworkModel
+from repro.sparksim.serializer import CompressionModel, SerializerModel
+from repro.sparksim.shuffle import ShuffleModel
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """Mean per-task costs and risks for one stage iteration.
+
+    ``compute/io/shuffle/gc`` partition the mean task seconds; the
+    scheduler adds waves, skew, and retry machinery on top.
+    """
+
+    num_tasks: int
+    compute_seconds: float
+    io_seconds: float
+    shuffle_seconds: float
+    gc_seconds: float
+    spill_bytes: float
+    oom_probability: float
+    max_gc_pause_seconds: float
+    network_seconds: float
+    skew: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return (
+            self.compute_seconds
+            + self.io_seconds
+            + self.shuffle_seconds
+            + self.gc_seconds
+        )
+
+
+class StageCostModel:
+    """Computes :class:`TaskProfile` for stages under one configuration."""
+
+    def __init__(self, conf: SparkConf, cluster: ClusterSpec):
+        self.conf = conf
+        self.cluster = cluster
+        self.serializer = SerializerModel(conf)
+        self.codec = CompressionModel(conf)
+        self.memory = MemoryModel(conf)
+        self.gc = GcModel(conf)
+        self.shuffle = ShuffleModel(conf, cluster)
+        self.network = NetworkModel(conf, cluster)
+
+    # ------------------------------------------------------------------
+    def num_partitions(self, stage: StageSpec) -> int:
+        """Partition count: HDFS blocks for input stages, otherwise
+        ``spark.default.parallelism`` (the Table-2 knob)."""
+        if stage.parents:
+            # Shuffle-fed stages are partitioned by default.parallelism:
+            # with the Table-2 range capped at 50, per-task volume grows
+            # linearly with input size — the root of IMC's datasize
+            # sensitivity (Section 2.2.1).
+            return max(self.conf.default_parallelism, 1)
+        blocks = int(math.ceil(stage.input_bytes / self.cluster.hdfs_block_bytes))
+        return max(blocks, 1)
+
+    def local_fraction(self) -> float:
+        """Achieved data locality for shuffle reads.
+
+        Waiting longer (``spark.locality.wait``) raises the chance the
+        scheduler finds a node-local slot before falling back.
+        """
+        base = 1.0 / self.cluster.worker_nodes  # random placement floor
+        patience = 1.0 - math.exp(-self.conf.locality_wait / 4.0)
+        return base + (0.85 - base) * patience
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        stage: StageSpec,
+        shuffle_in_bytes: float,
+        resident_cache_bytes_per_executor: float,
+        cache_hit_fraction: float,
+        num_reduce_partitions_out: int,
+    ) -> TaskProfile:
+        """Mean per-task cost of one iteration of ``stage``.
+
+        Parameters
+        ----------
+        shuffle_in_bytes:
+            Total shuffle bytes this stage reads (sum of parents'
+            output), per iteration.
+        resident_cache_bytes_per_executor:
+            Live cached RDD bytes held on each executor heap (GC load).
+        cache_hit_fraction:
+            For stages with ``reads_cached``: fraction of the cached
+            input actually resident; misses re-read HDFS.
+        num_reduce_partitions_out:
+            Partition count of the downstream shuffle (file fan-out).
+        """
+        n_tasks = self.num_partitions(stage)
+        processed = stage.input_bytes + shuffle_in_bytes
+        raw_per_task = processed / n_tasks
+        expansion = self.serializer.memory_expansion()
+
+        # Tasks *actually* running per node: bounded by the slots the
+        # packing provides and by how many tasks the stage has at all.
+        slots_per_node = self.conf.executors_per_node * self.conf.executor_cores
+        concurrent = max(
+            1,
+            min(slots_per_node, math.ceil(n_tasks / self.cluster.worker_nodes)),
+        )
+
+        # -- compute -----------------------------------------------------
+        compute = (raw_per_task / MB) * stage.cpu_seconds_per_mb / self.cluster.core_speed
+        compute *= 1.0 + self.network.heartbeat_overhead_fraction()
+
+        # -- input I/O ----------------------------------------------------
+        disk_share = self.cluster.disk_share(concurrent)
+        io = 0.0
+        if stage.input_bytes > 0:
+            read_bytes = stage.input_bytes / n_tasks
+            if stage.reads_cached:
+                # Misses fall back to HDFS; hits pay only the (possibly
+                # compressed-cache) reuse CPU.
+                io += read_bytes * (1.0 - cache_hit_fraction) / disk_share
+                compute += (
+                    read_bytes
+                    * cache_hit_fraction
+                    * self.serializer.cache_reuse_seconds_per_byte()
+                )
+            else:
+                io += read_bytes / disk_share
+        if stage.output_bytes > 0:
+            io += (stage.output_bytes / n_tasks) / disk_share
+
+        # -- memory -------------------------------------------------------
+        working_set = raw_per_task * expansion * stage.working_set_factor
+        outcome = self.memory.task_outcome(
+            working_set,
+            stage.user_state_bytes,
+            stage.unspillable_fraction,
+            resident_cache_bytes_per_executor,
+        )
+
+        # -- shuffle ------------------------------------------------------
+        shuffle_seconds = 0.0
+        network_seconds = 0.0
+        if shuffle_in_bytes > 0:
+            read = self.shuffle.read_cost(
+                shuffle_in_bytes / n_tasks, self.local_fraction(), concurrent
+            )
+            shuffle_seconds += read.cpu_seconds + read.network_seconds + read.disk_seconds
+            network_seconds += read.network_seconds
+        shuffle_out = processed * stage.shuffle_out_ratio
+        if shuffle_out > 0:
+            write = self.shuffle.write_cost(
+                shuffle_out / n_tasks,
+                num_reduce_partitions_out,
+                outcome.spill_bytes,
+                stage.map_side_combine,
+                concurrent,
+            )
+            shuffle_seconds += (
+                write.cpu_seconds + write.disk_seconds + write.spill_extra_seconds
+            )
+
+        # -- GC -----------------------------------------------------------
+        allocated = raw_per_task * expansion + (shuffle_in_bytes / n_tasks) * expansion
+        gc_seconds = self.gc.gc_seconds(
+            allocated_bytes=allocated,
+            live_task_bytes=working_set,
+            resident_cache_bytes_per_executor=resident_cache_bytes_per_executor,
+            user_object_bytes=stage.user_state_bytes,
+        )
+        occ = self.gc.occupancy(
+            working_set, resident_cache_bytes_per_executor, stage.user_state_bytes
+        )
+        max_pause = self.gc.max_pause_seconds(gc_seconds, occ)
+
+        # -- serialization failure risk folds into OOM-style retries ------
+        oom = outcome.oom_probability
+        ser_risk = self.serializer.record_failure_risk(stage.record_bytes)
+        oom = 1.0 - (1.0 - oom) * (1.0 - ser_risk)
+
+        return TaskProfile(
+            num_tasks=n_tasks,
+            compute_seconds=compute,
+            io_seconds=io,
+            shuffle_seconds=shuffle_seconds,
+            gc_seconds=gc_seconds,
+            spill_bytes=outcome.spill_bytes,
+            oom_probability=oom,
+            max_gc_pause_seconds=max_pause,
+            network_seconds=network_seconds,
+            skew=stage.skew,
+        )

@@ -1,0 +1,62 @@
+"""Naive Bayes training: poor instruction locality, big model collect.
+
+(Table 1: 1.2-2 M pages.)  Tokenize/vectorize the corpus with map-side
+term aggregation, aggregate per-class term frequencies into large hash
+tables, then pull the trained model back to the driver — the last step
+is what exposes ``spark.driver.memory`` for this workload.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import KB, MB
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.workloads.base import Workload
+
+#: Bytes per page of the classification corpus.
+BYTES_PER_PAGE = 25.0 * KB
+
+
+class Bayes(Workload):
+    name = "Bayes"
+    abbr = "BA"
+    paper_sizes = (1.2, 1.4, 1.6, 1.8, 2.0)
+    unit = "million pages"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * 1e6 * BYTES_PER_PAGE
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        stages = (
+            StageSpec(
+                name="tokenize-vectorize",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.048,  # tokenization is branchy
+                shuffle_out_ratio=0.30,
+                map_side_combine=True,
+                working_set_factor=0.65,
+                unspillable_fraction=0.14,
+                record_bytes=BYTES_PER_PAGE,
+                skew=0.20,
+            ),
+            StageSpec(
+                name="aggregate-term-freqs",
+                parents=("tokenize-vectorize",),
+                cpu_seconds_per_mb=0.022,
+                shuffle_out_ratio=0.12,
+                working_set_factor=1.0,  # per-class term hash tables
+                unspillable_fraction=0.22,
+                record_bytes=512.0,
+                skew=0.24,
+            ),
+            StageSpec(
+                name="train-collect-model",
+                parents=("aggregate-term-freqs",),
+                cpu_seconds_per_mb=0.010,
+                working_set_factor=0.9,
+                collect_bytes=160 * MB,  # the model comes home
+                record_bytes=512.0,
+                skew=0.15,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)

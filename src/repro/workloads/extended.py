@@ -1,0 +1,156 @@
+"""Extension workloads beyond the paper's six (Table 1).
+
+The paper evaluates on six HiBench programs; HiBench itself ships more.
+These three extend the library's coverage to behaviour classes the
+Table-1 set under-represents, and exercise the same public APIs
+(collection, modeling, tuning) end to end:
+
+* **LogisticRegression (LR)** — MLlib-style gradient descent: cached
+  feature matrix, many CPU-heavy iterations, tiny shuffles (gradient
+  aggregation).  Like KMeans but with a higher compute-to-data ratio.
+* **Join (JN)** — SQL-style two-table equi-join: two input scans
+  co-shuffled into one join stage; the join side's hash table makes it
+  the most memory-hungry *non-iterative* workload.
+* **Scan (SC)** — selection/projection over a large table: I/O-bound,
+  almost configuration-insensitive beyond executor packing; useful as a
+  control workload where tuning *should* win little.
+
+They are intentionally **not** in :data:`ALL_WORKLOADS` (which mirrors
+Table 1); :func:`repro.workloads.get_workload` finds them by name.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB, MB
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.workloads.base import Workload
+
+#: Bytes per (features + label) example row, ~100 doubles.
+BYTES_PER_EXAMPLE = 840.0
+LR_ITERATIONS = 15
+
+
+class LogisticRegression(Workload):
+    name = "LogisticRegression"
+    abbr = "LR"
+    paper_sizes = (20.0, 30.0, 40.0, 50.0, 60.0)
+    unit = "million examples"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * 1e6 * BYTES_PER_EXAMPLE
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        stages = (
+            StageSpec(
+                name="load-cache-examples",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.010,
+                cache_output="examples",
+                working_set_factor=0.3,
+                record_bytes=BYTES_PER_EXAMPLE,
+                skew=0.12,
+            ),
+            StageSpec(
+                name="gradient-iterations",
+                parents=("load-cache-examples",),
+                reads_cached="examples",
+                input_bytes=data,
+                repeat=LR_ITERATIONS,
+                cpu_seconds_per_mb=0.035,  # dot products dominate
+                shuffle_out_ratio=0.0004,  # gradient vectors only
+                map_side_combine=True,
+                working_set_factor=0.06,
+                broadcast_bytes=1 * MB,  # the weight vector
+                collect_bytes=1 * MB,
+                record_bytes=BYTES_PER_EXAMPLE,
+                skew=0.12,
+            ),
+            StageSpec(
+                name="final-model",
+                parents=("gradient-iterations",),
+                input_bytes=data * 0.001,
+                cpu_seconds_per_mb=0.004,
+                collect_bytes=2 * MB,
+                skew=0.10,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)
+
+
+class Join(Workload):
+    name = "Join"
+    abbr = "JN"
+    paper_sizes = (20.0, 40.0, 60.0, 80.0, 100.0)
+    unit = "GB"
+
+    #: The dimension table is this fraction of the fact table.
+    DIMENSION_RATIO = 0.25
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * GB
+
+    def job(self, size: float) -> JobSpec:
+        fact = self.bytes_for(size)
+        dimension = fact * self.DIMENSION_RATIO
+        stages = (
+            StageSpec(
+                name="scan-fact",
+                input_bytes=fact,
+                cpu_seconds_per_mb=0.006,
+                shuffle_out_ratio=0.8,  # repartition by join key
+                working_set_factor=0.3,
+                record_bytes=512.0,
+                skew=0.15,
+            ),
+            StageSpec(
+                name="scan-dimension",
+                input_bytes=dimension,
+                cpu_seconds_per_mb=0.006,
+                shuffle_out_ratio=0.9,
+                working_set_factor=0.3,
+                record_bytes=256.0,
+                skew=0.15,
+            ),
+            StageSpec(
+                name="hash-join",
+                parents=("scan-fact", "scan-dimension"),
+                cpu_seconds_per_mb=0.012,
+                working_set_factor=1.1,  # build side lives in memory
+                unspillable_fraction=0.30,  # hash table pins its buckets
+                shuffle_out_ratio=0.0,
+                output_bytes=fact * 0.4,
+                record_bytes=768.0,
+                skew=0.30,  # key skew — hot join keys
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=fact, stages=stages)
+
+
+class Scan(Workload):
+    name = "Scan"
+    abbr = "SC"
+    paper_sizes = (50.0, 100.0, 150.0, 200.0, 250.0)
+    unit = "GB"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * GB
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        stages = (
+            StageSpec(
+                name="scan-filter-project",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.004,  # predicate + projection only
+                working_set_factor=0.05,  # pure streaming
+                output_bytes=data * 0.05,
+                record_bytes=256.0,
+                skew=0.10,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)
+
+
+#: Extension registry (not part of the paper's Table 1).
+EXTRA_WORKLOADS = {w.abbr: w for w in (LogisticRegression(), Join(), Scan())}

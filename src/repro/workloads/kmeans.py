@@ -1,0 +1,91 @@
+"""KMeans: cached-RDD iterative clustering (160-288 million points).
+
+Five stages mirroring Figure 13's decomposition: StageA reads and caches
+the points, StageB samples initial centers, StageC iteratively
+aggregates/collects (the dominant stage), StageD collects assignments,
+StageE summarizes.  Every iteration broadcasts the centroids and
+collects partial sums — the pattern that makes KMeans love big storage
+memory (cache residency) and punish undersized heaps with GC storms.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MB
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.workloads.base import Workload
+
+#: Serialized bytes per point: ~20 double features + vector overhead.
+BYTES_PER_POINT = 224.0
+#: Lloyd iterations (HiBench default ballpark).
+ITERATIONS = 10
+
+
+class KMeans(Workload):
+    name = "KMeans"
+    abbr = "KM"
+    paper_sizes = (160.0, 192.0, 224.0, 256.0, 288.0)
+    unit = "million points"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * 1e6 * BYTES_PER_POINT
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        centroid_bytes = 4.0 * MB  # k centers x 20 dims, replicated sums
+        stages = (
+            StageSpec(
+                name="stageA-read-cache",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.012,
+                cache_output="points",
+                working_set_factor=0.35,  # parse-and-cache, mostly streaming
+                record_bytes=BYTES_PER_POINT,
+                skew=0.14,
+            ),
+            StageSpec(
+                name="stageB-sample",
+                parents=("stageA-read-cache",),
+                reads_cached="points",
+                input_bytes=data * 0.05,
+                cpu_seconds_per_mb=0.004,
+                working_set_factor=0.1,
+                collect_bytes=2 * MB,
+                record_bytes=BYTES_PER_POINT,
+                skew=0.12,
+            ),
+            StageSpec(
+                name="stageC-iterate",
+                parents=("stageA-read-cache",),
+                reads_cached="points",
+                input_bytes=data,
+                repeat=ITERATIONS,
+                cpu_seconds_per_mb=0.022,  # distance computation per point
+                shuffle_out_ratio=0.0006,  # tiny per-partition partial sums
+                map_side_combine=True,
+                working_set_factor=0.08,  # streams cached points; state is k sums
+                broadcast_bytes=centroid_bytes,
+                collect_bytes=centroid_bytes,
+                record_bytes=BYTES_PER_POINT,
+                skew=0.16,
+            ),
+            StageSpec(
+                name="stageD-collect",
+                parents=("stageC-iterate",),
+                reads_cached="points",
+                input_bytes=data * 0.2,
+                cpu_seconds_per_mb=0.006,
+                working_set_factor=0.12,
+                collect_bytes=24 * MB,
+                record_bytes=BYTES_PER_POINT,
+                skew=0.14,
+            ),
+            StageSpec(
+                name="stageE-summary",
+                parents=("stageD-collect",),
+                input_bytes=data * 0.002,
+                cpu_seconds_per_mb=0.004,
+                collect_bytes=1 * MB,
+                skew=0.10,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)

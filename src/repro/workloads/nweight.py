@@ -1,0 +1,67 @@
+"""NWeight: GraphX n-hop association, the memory hog (10.5-14.5 M edges).
+
+Section 4.1: "it consumes a lot of memory that it stores the whole graph
+in memory and iterates over the vertices".  Build+cache the graph, then
+propagate weights n hops — each hop amplifies message volume past the
+input size.  Adjacency rows are multi-megabyte records, which is what
+exposes ``spark.kryoserializer.buffer.max`` on this workload.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MB
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.workloads.base import Workload
+
+#: Bytes per edge including weights and vertex attributes.
+BYTES_PER_EDGE = 480.0
+HOPS = 3
+
+
+class NWeight(Workload):
+    name = "NWeight"
+    abbr = "NW"
+    paper_sizes = (10.5, 11.5, 12.5, 13.5, 14.5)
+    unit = "million edges"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * 1e6 * BYTES_PER_EDGE
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        stages = (
+            StageSpec(
+                name="build-graph",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.030,
+                shuffle_out_ratio=0.8,  # edge partitioning shuffle
+                cache_output="graph",
+                working_set_factor=1.3,
+                unspillable_fraction=0.28,  # partitioned adjacency is mostly live
+                record_bytes=12 * MB,  # adjacency rows are huge
+                skew=0.28,
+            ),
+            StageSpec(
+                name="propagate-hops",
+                parents=("build-graph",),
+                reads_cached="graph",
+                input_bytes=data,
+                repeat=HOPS,
+                cpu_seconds_per_mb=0.038,
+                shuffle_out_ratio=1.0,  # messages amplify per hop
+                working_set_factor=1.45,
+                unspillable_fraction=0.28,
+                broadcast_bytes=2 * MB,
+                record_bytes=12 * MB,
+                skew=0.32,
+            ),
+            StageSpec(
+                name="write-associations",
+                parents=("propagate-hops",),
+                cpu_seconds_per_mb=0.006,
+                output_bytes=data * 0.2,
+                record_bytes=1024.0,
+                skew=0.14,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)

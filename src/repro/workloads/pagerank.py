@@ -1,0 +1,68 @@
+"""PageRank: iterative link analysis with heavy shuffles (1.2-2 M pages).
+
+Three phases: load+cache the link structure, run the rank-contribution
+iterations (each a wide shuffle whose volume rivals the input — the
+paper's "iteration selectivity of PageRank is much higher compared to
+KMeans"), then write ranks.  Power-law in-degree gives the iteration
+stage the largest task skew of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import KB, MB
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.workloads.base import Workload
+
+#: Raw bytes per page: outlink list + key for a HiBench-style synthetic
+#: web graph (the evaluation corpus, unlike the denser motivation corpus).
+BYTES_PER_PAGE = 2.0 * KB
+ITERATIONS = 8
+
+
+class PageRank(Workload):
+    name = "PageRank"
+    abbr = "PR"
+    paper_sizes = (1.2, 1.4, 1.6, 1.8, 2.0)
+    unit = "million pages"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * 1e6 * BYTES_PER_PAGE
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        stages = (
+            StageSpec(
+                name="load-links",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.014,
+                shuffle_out_ratio=0.5,  # groupBy page to build link lists
+                cache_output="links",
+                working_set_factor=1.2,
+                unspillable_fraction=0.30,  # groupByKey pins link lists
+                record_bytes=2048.0,
+                skew=0.22,
+            ),
+            StageSpec(
+                name="rank-iterations",
+                parents=("load-links",),
+                reads_cached="links",
+                input_bytes=data * 0.6,
+                repeat=ITERATIONS,
+                cpu_seconds_per_mb=0.017,
+                shuffle_out_ratio=0.45,  # contributions flood the network
+                working_set_factor=1.3,
+                unspillable_fraction=0.30,  # join state pins current groups
+                broadcast_bytes=1 * MB,
+                record_bytes=2048.0,
+                skew=0.30,  # power-law degrees -> heavy stragglers
+            ),
+            StageSpec(
+                name="write-ranks",
+                parents=("rank-iterations",),
+                cpu_seconds_per_mb=0.005,
+                output_bytes=data * 0.02,
+                record_bytes=64.0,
+                skew=0.12,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)

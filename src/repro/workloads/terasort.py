@@ -1,0 +1,48 @@
+"""TeraSort: CPU- and memory-intensive full-data shuffle (10-50 GB).
+
+Matches the paper's description (Section 5.8): two stages, Stage1 a
+sampling/scan pass (~10% of runtime), Stage2 the shuffle-sort-write that
+dominates (~90%).  Every input byte crosses the shuffle, so TeraSort is
+the stress test for the shuffle and memory knobs, and the workload whose
+Stage2 GC behaviour Figure 14 dissects.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB
+from repro.sparksim.dag import JobSpec, StageSpec
+from repro.workloads.base import Workload
+
+
+class TeraSort(Workload):
+    name = "TeraSort"
+    abbr = "TS"
+    paper_sizes = (10.0, 20.0, 30.0, 40.0, 50.0)
+    unit = "GB"
+
+    def bytes_for(self, size: float) -> float:
+        return self.validate_size(size) * GB
+
+    def job(self, size: float) -> JobSpec:
+        data = self.bytes_for(size)
+        stages = (
+            StageSpec(
+                name="stage1-sample-map",
+                input_bytes=data,
+                cpu_seconds_per_mb=0.006,
+                shuffle_out_ratio=1.0,  # every byte is repartitioned
+                working_set_factor=0.35,  # streaming shuffle write
+                record_bytes=100.0,  # classic 100-byte TeraSort records
+                skew=0.12,
+            ),
+            StageSpec(
+                name="stage2-sort-write",
+                parents=("stage1-sample-map",),
+                cpu_seconds_per_mb=0.016,
+                working_set_factor=1.25,  # holds its partition to sort it
+                output_bytes=data,
+                record_bytes=100.0,
+                skew=0.18,
+            ),
+        )
+        return JobSpec(program=self.abbr, datasize_bytes=data, stages=stages)

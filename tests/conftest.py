@@ -1,0 +1,64 @@
+"""Shared fixtures: spaces, simulators, and small collected datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import derive_rng
+from repro.core.collecting import Collector
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.confspace import spark_configuration_space
+from repro.sparksim.simulator import SparkSimulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def space():
+    return spark_configuration_space()
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    return PAPER_CLUSTER
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return SparkSimulator()
+
+
+@pytest.fixture()
+def rng():
+    return derive_rng("tests")
+
+
+@pytest.fixture(scope="session")
+def terasort():
+    return get_workload("TS")
+
+
+@pytest.fixture(scope="session")
+def kmeans():
+    return get_workload("KM")
+
+
+@pytest.fixture(scope="session")
+def small_training_set():
+    """120 TeraSort performance vectors, shared across model tests."""
+    return Collector(get_workload("TS"), seed=7).collect(120, stream="train")
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    """Deterministic synthetic regression problem used by model tests."""
+    gen = np.random.default_rng(42)
+    X = gen.random((600, 10))
+    y = (
+        1.0
+        + 2.0 * X[:, 0]
+        - 1.5 * X[:, 1]
+        + np.where(X[:, 2] > 0.5, 0.8, 0.0)
+        + 0.05 * gen.standard_normal(600)
+    )
+    return X, y

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_requires_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "TS"])
+
+    def test_experiment_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_programs(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("PR", "KM", "BA", "NW", "WC", "TS"):
+            assert abbr in out
+
+
+class TestRunCommand:
+    def test_run_default(self, capsys):
+        assert main(["run", "TS", "--size", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table-2 defaults" in out and "total:" in out
+
+    def test_run_with_stages(self, capsys):
+        assert main(["run", "WC", "--size", "80", "--stages"]) == 0
+        out = capsys.readouterr().out
+        assert "tokenize-combine" in out and "merge-counts" in out
+
+    def test_run_expert(self, capsys):
+        assert main(["run", "KM", "--size", "160", "--expert"]) == 0
+        assert "expert rules" in capsys.readouterr().out
+
+    def test_run_report_flag(self, capsys):
+        assert main(["run", "TS", "--size", "40", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out and "===" in out
+
+    def test_run_with_conf_file(self, capsys, tmp_path, space):
+        from repro.io import save_spark_conf
+
+        conf = tmp_path / "my.conf"
+        save_spark_conf(space.from_dict({"spark.executor.memory": 8192}), conf)
+        assert main(["run", "TS", "--size", "10", "--conf", str(conf)]) == 0
+        assert str(conf) in capsys.readouterr().out
+
+    def test_conflicting_config_sources_error(self, capsys, tmp_path):
+        code = main(["run", "TS", "--size", "10", "--conf", "x", "--expert"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_workload_reports_error(self, capsys):
+        assert main(["run", "Nope", "--size", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCollectCommand:
+    def test_writes_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "S.csv"
+        code = main(["collect", "TS", "--examples", "12", "--output", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 13  # header + 12 rows
+
+    def test_csv_loads_back(self, tmp_path, space):
+        from repro.io import load_training_set
+
+        out_file = tmp_path / "S.csv"
+        main(["collect", "KM", "--examples", "10", "--output", str(out_file)])
+        training = load_training_set(out_file, space)
+        assert len(training) == 10
+
+
+class TestTuneCommand:
+    def test_end_to_end_with_conf_output(self, capsys, tmp_path, space):
+        from repro.io import load_spark_conf
+
+        conf = tmp_path / "spark-dac.conf"
+        code = main(
+            [
+                "tune", "TS", "--size", "20",
+                "--train", "120", "--trees", "60",
+                "--generations", "20",
+                "--output", str(conf),
+                "--spark-submit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured: DAC" in out
+        assert "spark-submit" in out
+        tuned = load_spark_conf(conf, space)
+        assert len(tuned) == 41
+
+
+class TestExperimentCommand:
+    def test_fig2_fast(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for the collecting component (CG + DG + performance vectors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collecting import Collector, PerformanceVector, TrainingSet
+from repro.workloads import get_workload
+from repro.workloads.datagen import DatasetSizeGenerator
+
+
+class TestPerformanceVector:
+    def test_rejects_nonpositive_time(self, space):
+        with pytest.raises(ValueError):
+            PerformanceVector(
+                seconds=0.0,
+                configuration=space.default(),
+                datasize=10.0,
+                datasize_bytes=1e9,
+            )
+
+    def test_rejects_nonpositive_size(self, space):
+        with pytest.raises(ValueError):
+            PerformanceVector(
+                seconds=5.0,
+                configuration=space.default(),
+                datasize=10.0,
+                datasize_bytes=0.0,
+            )
+
+
+class TestCollector:
+    def test_sizes_satisfy_equation4(self):
+        collector = Collector(get_workload("TS"))
+        assert len(collector.sizes) == 10
+        assert DatasetSizeGenerator.satisfies_gap(collector.sizes)
+
+    def test_collect_counts_and_spread(self):
+        collector = Collector(get_workload("TS"), seed=1)
+        ts = collector.collect(25, stream="train")
+        assert len(ts) == 25
+        sizes = {v.datasize for v in ts.vectors}
+        # 25 over 10 sizes: every size is used.
+        assert len(sizes) == 10
+
+    def test_streams_are_disjoint_random_draws(self):
+        collector = Collector(get_workload("TS"), seed=1)
+        train = collector.collect(10, stream="train")
+        test = collector.collect(10, stream="test")
+        train_configs = {v.configuration for v in train.vectors}
+        test_configs = {v.configuration for v in test.vectors}
+        assert not (train_configs & test_configs)
+
+    def test_collect_is_reproducible(self):
+        a = Collector(get_workload("TS"), seed=4).collect(8)
+        b = Collector(get_workload("TS"), seed=4).collect(8)
+        assert [v.seconds for v in a.vectors] == [v.seconds for v in b.vectors]
+
+    def test_rejects_zero_examples(self):
+        with pytest.raises(ValueError):
+            Collector(get_workload("TS")).collect(0)
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        Collector(get_workload("TS"), seed=2).collect(
+            5, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(i, 5) for i in range(1, 6)]
+
+    def test_simulated_hours_matches_sum(self, small_training_set):
+        collector = Collector(get_workload("TS"), seed=7)
+        hours = collector.simulated_hours(small_training_set)
+        assert hours == pytest.approx(
+            sum(v.seconds for v in small_training_set.vectors) / 3600.0
+        )
+
+
+class TestTrainingSet:
+    def test_features_shape_is_42(self, small_training_set):
+        X = small_training_set.features()
+        assert X.shape == (len(small_training_set), 42)
+        assert np.all(X >= 0) and np.all(X <= 1.0 + 1e-9)
+
+    def test_datasize_column_normalized_to_max(self, small_training_set):
+        X = small_training_set.features()
+        assert X[:, -1].max() == pytest.approx(1.0)
+
+    def test_log_times_consistent_with_times(self, small_training_set):
+        assert np.allclose(
+            np.exp(small_training_set.log_times()), small_training_set.times()
+        )
+
+    def test_feature_row_matches_matrix(self, small_training_set):
+        v = small_training_set.vectors[0]
+        row = small_training_set.feature_row(v.configuration, v.datasize_bytes)
+        assert np.allclose(row, small_training_set.features()[0])
+
+    def test_empty_training_set_rejected(self, space):
+        with pytest.raises(ValueError):
+            TrainingSet(space, [])
+
+    def test_merge(self, small_training_set):
+        merged = small_training_set.merged_with(small_training_set)
+        assert len(merged) == 2 * len(small_training_set)

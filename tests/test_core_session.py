@@ -1,0 +1,83 @@
+"""Tests for the persistent tuning session."""
+
+import pytest
+
+from repro.core.session import DacSession
+from repro.io import load_spark_conf
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return DacSession(tmp_path / "workspace", n_trees=60, learning_rate=0.15)
+
+
+class TestTrainingSetCache:
+    def test_collects_and_persists(self, session):
+        training = session.training_set("TS", min_examples=30)
+        assert len(training) == 30
+        assert session._csv_path("TS").exists()
+
+    def test_cache_hit_avoids_recollection(self, session):
+        first = session.training_set("TS", min_examples=30)
+        again = session.training_set("TS", min_examples=30)
+        assert [v.seconds for v in again.vectors] == [
+            v.seconds for v in first.vectors
+        ]
+
+    def test_incremental_top_up(self, session):
+        session.training_set("TS", min_examples=20)
+        grown = session.training_set("TS", min_examples=35)
+        assert len(grown) == 35
+        # The cached prefix is preserved verbatim.
+        reloaded = session.training_set("TS", min_examples=10)
+        assert len(reloaded) == 35  # never shrinks
+
+    def test_top_up_uses_fresh_configurations(self, session):
+        base = session.training_set("TS", min_examples=20)
+        grown = session.training_set("TS", min_examples=40)
+        configs = [v.configuration for v in grown.vectors]
+        assert len(set(configs)) == len(configs)  # no duplicates
+
+    def test_invalid_min_examples(self, session):
+        with pytest.raises(ValueError):
+            session.training_set("TS", min_examples=0)
+
+
+class TestTuning:
+    def test_tune_exports_conf_file(self, session):
+        report = session.tune("TS", 20.0, generations=10)
+        path = session.conf_path("TS", 20.0)
+        assert path.exists()
+        config = load_spark_conf(path, SPARK_CONF_SPACE)
+        for name in SPARK_CONF_SPACE.names:
+            expected = report.configuration[name]
+            if isinstance(expected, float):
+                # Conf files render floats at 6 significant digits.
+                assert config[name] == pytest.approx(expected, rel=1e-4)
+            else:
+                assert config[name] == expected
+
+    def test_tuner_reused_across_sizes(self, session):
+        session.training_set("TS", min_examples=120)
+        t1 = session.tuner("TS")
+        session.tune("TS", 10.0, generations=5, export=False)
+        assert session.tuner("TS") is t1
+
+    def test_entries_summary(self, session):
+        session.training_set("TS", min_examples=120)
+        # tuner() tops the cache up to its own default minimum (400).
+        session.tune("TS", 30.0, generations=5, export=False)
+        entries = session.entries()
+        assert entries["TS"].examples_collected == 400
+        assert entries["TS"].model_fitted
+        assert entries["TS"].tuned_sizes == (30.0,)
+
+    def test_session_survives_restart(self, tmp_path):
+        first = DacSession(tmp_path / "ws", n_trees=60, learning_rate=0.15)
+        first.training_set("KM", min_examples=25)
+        # New session object over the same directory sees the cache.
+        second = DacSession(tmp_path / "ws", n_trees=60, learning_rate=0.15)
+        training = second.training_set("KM", min_examples=25)
+        assert len(training) == 25
+        assert second.entries()["KM"].examples_collected == 25

@@ -1,0 +1,110 @@
+"""Integration tests for the DAC, RFHOC and expert tuners."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import default_configuration
+from repro.core.expert import ExpertTuner
+from repro.core.rfhoc import RfhocTuner
+from repro.core.tuner import DacTuner
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.simulator import SparkSimulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def fitted_dac():
+    """A small but real DAC pipeline on TeraSort (shared by tests)."""
+    tuner = DacTuner(get_workload("TS"), n_train=200, n_trees=120,
+                     learning_rate=0.1, seed=3)
+    tuner.collect()
+    tuner.fit()
+    return tuner
+
+
+class TestDacTuner:
+    def test_collect_populates_training_set(self, fitted_dac):
+        assert len(fitted_dac.training_set) == 200
+        assert fitted_dac.collector.simulated_hours(fitted_dac.training_set) > 0
+
+    def test_fit_produces_model_with_holdout_error(self, fitted_dac):
+        assert fitted_dac.model is not None
+        assert 0.0 < fitted_dac.model.holdout_error_ < 1.0
+
+    def test_tune_returns_complete_report(self, fitted_dac):
+        report = fitted_dac.tune(30.0, generations=25)
+        assert report.program == "TS"
+        assert report.datasize == 30.0
+        assert report.predicted_seconds > 0
+        assert len(report.configuration) == 41
+        assert report.searching_wall_seconds > 0
+        assert len(report.ga.history) >= 2
+
+    def test_tuned_beats_default_when_executed(self, fitted_dac, simulator):
+        report = fitted_dac.tune(40.0, generations=40)
+        job = get_workload("TS").job(40.0)
+        tuned = simulator.run(job, report.configuration).seconds
+        default = simulator.run(job, default_configuration()).seconds
+        assert tuned < default
+
+    def test_datasize_awareness_changes_configuration(self, fitted_dac):
+        small = fitted_dac.tune(10.0, generations=40).configuration
+        large = fitted_dac.tune(50.0, generations=40).configuration
+        assert small != large
+
+    def test_predict_seconds_positive(self, fitted_dac):
+        pred = fitted_dac.predict_seconds(default_configuration(), 30.0)
+        assert np.isfinite(pred) and pred > 0
+
+    def test_paper_scale_factory(self):
+        tuner = DacTuner.paper_scale(get_workload("TS"))
+        assert tuner.n_train == 2000
+        assert tuner.n_trees == 3600
+        assert tuner.learning_rate == 0.05
+
+    def test_fast_scale_factory_with_override(self):
+        tuner = DacTuner.fast_scale(get_workload("TS"), n_train=100)
+        assert tuner.n_train == 100
+        assert tuner.n_trees == 250
+
+
+class TestRfhocTuner:
+    def test_model_ignores_datasize(self, fitted_dac):
+        rfhoc = RfhocTuner(get_workload("TS"), n_train=200, n_trees=40)
+        rfhoc.fit(fitted_dac.training_set)
+        report = rfhoc.tune(generations=20)
+        assert len(report.configuration) == 41
+        assert report.predicted_seconds > 0
+
+    def test_single_configuration_for_all_sizes(self, fitted_dac):
+        """RFHOC's defining limitation: one config per program."""
+        rfhoc = RfhocTuner(get_workload("TS"), n_train=200, n_trees=40)
+        rfhoc.fit(fitted_dac.training_set)
+        a = rfhoc.tune(generations=15)
+        b = rfhoc.tune(generations=15)
+        assert a.configuration == b.configuration  # deterministic, size-free
+
+
+class TestExpertTuner:
+    def test_produces_valid_configuration(self):
+        config = ExpertTuner(PAPER_CLUSTER).tune()
+        assert len(config) == 41
+
+    def test_follows_guide_rules(self):
+        config = ExpertTuner(PAPER_CLUSTER).tune()
+        assert config["spark.executor.cores"] == 5
+        assert config["spark.serializer"] == "kryo"
+        assert config["spark.executor.memory"] > 1024  # never the default 1 GB
+        assert config["spark.default.parallelism"] == 50  # clamped to range
+
+    def test_rules_are_datasize_oblivious(self):
+        # The expert tuner has no datasize input at all — by construction.
+        a = ExpertTuner(PAPER_CLUSTER).tune()
+        b = ExpertTuner(PAPER_CLUSTER).tune()
+        assert a == b
+
+    def test_expert_beats_default_on_big_inputs(self, simulator):
+        job = get_workload("WC").job(160.0)
+        expert = simulator.run(job, ExpertTuner(PAPER_CLUSTER).tune()).seconds
+        default = simulator.run(job, default_configuration()).seconds
+        assert expert < default

@@ -1,0 +1,70 @@
+"""Tests for the dataset-size generator (Equation 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.datagen import (
+    DEFAULT_NUM_SIZES,
+    MIN_RELATIVE_GAP,
+    DatasetSizeGenerator,
+)
+
+
+class TestEquation4:
+    def test_default_is_paper_m_of_10(self):
+        assert DEFAULT_NUM_SIZES == 10
+        assert MIN_RELATIVE_GAP == pytest.approx(0.10)
+
+    def test_generated_sizes_satisfy_gap(self):
+        sizes = DatasetSizeGenerator().generate(10.0, 50.0)
+        assert len(sizes) == 10
+        assert DatasetSizeGenerator.satisfies_gap(sizes)
+
+    def test_sizes_sorted_ascending(self):
+        sizes = DatasetSizeGenerator().generate(1.0, 100.0)
+        assert sizes == sorted(sizes)
+
+    def test_narrow_range_widened_not_violated(self):
+        # 10 sizes with >= 10% gaps need a ~2.36x span; [10, 11] cannot
+        # hold them, so the generator widens the range instead.
+        sizes = DatasetSizeGenerator().generate(10.0, 11.0)
+        assert DatasetSizeGenerator.satisfies_gap(sizes)
+        assert sizes[0] < 10.0 and sizes[-1] > 11.0
+
+    def test_single_size_is_geometric_mean(self):
+        sizes = DatasetSizeGenerator(num_sizes=1).generate(4.0, 25.0)
+        assert sizes == [pytest.approx(10.0)]
+
+    def test_invalid_ranges_rejected(self):
+        gen = DatasetSizeGenerator()
+        with pytest.raises(ValueError):
+            gen.generate(0.0, 10.0)
+        with pytest.raises(ValueError):
+            gen.generate(10.0, 1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSizeGenerator(num_sizes=0)
+        with pytest.raises(ValueError):
+            DatasetSizeGenerator(min_gap=0.0)
+
+    def test_required_ratio(self):
+        gen = DatasetSizeGenerator(num_sizes=3, min_gap=0.10)
+        assert gen.required_ratio() == pytest.approx(1.1**2)
+
+    def test_satisfies_gap_detects_violation(self):
+        assert not DatasetSizeGenerator.satisfies_gap([100.0, 104.0])
+        assert DatasetSizeGenerator.satisfies_gap([100.0, 111.0])
+
+    @given(
+        low=st.floats(min_value=0.1, max_value=1e6),
+        span=st.floats(min_value=1.01, max_value=100.0),
+        m=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gap_property_holds_for_any_range(self, low, span, m):
+        """Equation (4) holds for every generated set, whatever the range."""
+        sizes = DatasetSizeGenerator(num_sizes=m).generate(low, low * span)
+        assert len(sizes) == m
+        assert DatasetSizeGenerator.satisfies_gap(sizes)

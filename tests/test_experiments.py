@@ -1,0 +1,161 @@
+"""End-to-end experiment tests: each figure's qualitative claim holds.
+
+These run the identical harness code the benchmarks use, at a tiny scale
+chosen so the whole module completes in a couple of minutes.  Absolute
+numbers differ from the paper; the asserted properties are the *shapes*
+the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig02_sensitivity
+from repro.experiments import fig03_baseline_errors
+from repro.experiments import fig07_ntrain
+from repro.experiments import fig08_hm_params
+from repro.experiments import fig09_hm_accuracy
+from repro.experiments import fig10_scatter
+from repro.experiments import fig11_ga_convergence
+from repro.experiments import fig12_speedup
+from repro.experiments import fig13_kmeans_stages
+from repro.experiments import fig14_terasort_stage2
+from repro.experiments import table3_overhead
+from repro.experiments.common import Scale, geomean, render_table
+
+#: Tiny scale: every code path, minimal samples.
+TINY = Scale(
+    name="tiny",
+    n_train=160,
+    n_test=60,
+    n_trees=80,
+    learning_rate=0.15,
+    ga_generations=30,
+    ga_population=24,
+    fig2_configs=40,
+    programs=("KM", "TS"),
+)
+
+
+class TestCommon:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], "T")
+        assert "T" in text and "-+-" in text
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            Scale(name="bad", n_train=5, n_test=1, n_trees=10, learning_rate=0.1)
+
+
+class TestFig2:
+    def test_imc_more_datasize_sensitive_than_odc(self):
+        result = fig02_sensitivity.run(TINY)
+        assert result.imc_more_sensitive
+        assert "Figure 2" in result.render()
+
+    def test_tvar_equation(self):
+        assert fig02_sensitivity.tvar(np.array([1.0, 2.0, 3.0])) == pytest.approx(1.0)
+
+
+class TestModelFigures:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return fig09_hm_accuracy.run(TINY)
+
+    def test_fig9_hm_beats_every_baseline(self, fig9):
+        assert fig09_hm_accuracy.hm_wins(fig9)
+
+    def test_fig9_table_renders_all_models(self, fig9):
+        text = fig09_hm_accuracy.render(fig9)
+        for model in ("RS", "ANN", "SVM", "RF", "HM"):
+            assert model in text
+
+    def test_fig3_subset_of_fig9_models(self):
+        result = fig03_baseline_errors.run(TINY)
+        assert set(result.models) == set(fig03_baseline_errors.BASELINES)
+        assert all(0.0 < result.average(m) < 2.0 for m in result.models)
+
+    def test_fig7_error_improves_with_data(self):
+        result = fig07_ntrain.run(TINY, programs=("TS",))
+        assert result.is_improving
+        assert len(result.mean_curve()) == len(result.ntrain_values)
+
+    def test_fig8_complex_trees_beat_stumps(self):
+        result = fig08_hm_params.run(
+            TINY, program="TS", learning_rates=(0.01, 0.1), tree_complexities=(1, 5)
+        )
+        assert result.complex_trees_win
+        tc, lr, nt = result.best_setting()
+        assert tc in (1, 5) and lr in (0.01, 0.1) and 1 <= nt <= TINY.n_trees
+
+    def test_fig10_predictions_track_measurements(self):
+        result = fig10_scatter.run(TINY, n_points=60)
+        for program, series in result.series.items():
+            assert series.log_correlation() > 0.5
+            assert series.within(0.5) > 0.5
+
+
+@pytest.fixture(scope="module")
+def tuned_figures():
+    """Share the expensive tuning runs across figure tests."""
+    return {
+        "fig11": fig11_ga_convergence.run(TINY),
+        "fig12": fig12_speedup.run(TINY),
+        "fig13": fig13_kmeans_stages.run(TINY),
+        "fig14": fig14_terasort_stage2.run(TINY),
+        "table3": table3_overhead.run(TINY),
+    }
+
+
+class TestTuningFigures:
+    def test_fig11_ga_converges_quickly(self, tuned_figures):
+        result = tuned_figures["fig11"]
+        assert result.all_converged_quickly
+        assert set(result.histories) == set(TINY.programs)
+
+    def test_fig12_dac_beats_default_everywhere(self, tuned_figures):
+        result = tuned_figures["fig12"]
+        assert all(c.vs_default > 1.0 for c in result.cells)
+        assert result.mean_speedup("default") > 3.0
+
+    def test_fig12_dac_competitive_with_rfhoc(self, tuned_figures):
+        result = tuned_figures["fig12"]
+        assert result.geomean_speedup("rfhoc") > 0.7
+
+    def test_fig12_render_contains_summary(self, tuned_figures):
+        text = tuned_figures["fig12"].render()
+        assert "vs default" in text and "geomean" in text
+
+    def test_fig13_stagec_dominates_default_kmeans(self, tuned_figures):
+        result = tuned_figures["fig13"]
+        largest = result.sizes[-1]
+        assert result.dominant_stage("default", largest) == "stageC-iterate"
+
+    def test_fig13_dac_cuts_gc_versus_default(self, tuned_figures):
+        result = tuned_figures["fig13"]
+        for size in result.sizes:
+            assert result.gc_seconds[("DAC", size)] < result.gc_seconds[
+                ("default", size)
+            ]
+
+    def test_fig14_stage2_dominates_terasort(self, tuned_figures):
+        result = tuned_figures["fig14"]
+        for size in result.sizes:
+            assert result.stage1_fraction[("default", size)] < 0.5
+
+    def test_fig14_dac_stage2_beats_default(self, tuned_figures):
+        result = tuned_figures["fig14"]
+        for size in result.sizes:
+            assert (
+                result.stage2_seconds[("DAC", size)]
+                < result.stage2_seconds[("default", size)]
+            )
+
+    def test_table3_collection_dominates_cost(self, tuned_figures):
+        result = tuned_figures["table3"]
+        assert result.collecting_dominates
+        assert "collecting" in result.render()

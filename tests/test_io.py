@@ -1,0 +1,119 @@
+"""Tests for CSV training sets and spark-dac.conf round trips."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    format_spark_submit,
+    load_spark_conf,
+    load_training_set,
+    save_spark_conf,
+    save_training_set,
+)
+from repro.io.sparkconf_file import format_value, parse_value
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+
+
+class TestTrainingSetCsv:
+    def test_roundtrip_preserves_everything(self, small_training_set, tmp_path):
+        path = tmp_path / "S.csv"
+        save_training_set(small_training_set, path)
+        loaded = load_training_set(path, SPARK_CONF_SPACE)
+        assert len(loaded) == len(small_training_set)
+        assert np.allclose(loaded.times(), small_training_set.times())
+        assert np.allclose(loaded.features(), small_training_set.features())
+        for a, b in zip(loaded.vectors, small_training_set.vectors):
+            assert a.configuration == b.configuration
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_training_set(path, SPARK_CONF_SPACE)
+
+    def test_missing_meta_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("dsize,dsize_bytes\n1,2\n")
+        with pytest.raises(ValueError, match="t_seconds"):
+            load_training_set(path, SPARK_CONF_SPACE)
+
+    def test_wrong_parameter_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t_seconds,dsize,dsize_bytes,not.a.param\n1,2,3,4\n")
+        with pytest.raises(ValueError, match="do not match"):
+            load_training_set(path, SPARK_CONF_SPACE)
+
+    def test_header_only_rejected(self, small_training_set, tmp_path):
+        path = tmp_path / "S.csv"
+        save_training_set(small_training_set, path)
+        header = path.read_text().splitlines()[0]
+        path.write_text(header + "\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_training_set(path, SPARK_CONF_SPACE)
+
+
+class TestSparkConfFile:
+    def test_roundtrip_default(self, tmp_path, space):
+        path = tmp_path / "spark-dac.conf"
+        config = space.default()
+        save_spark_conf(config, path, comment="TS @ 30 GB")
+        assert load_spark_conf(path, space) == config
+        assert "# TS @ 30 GB" in path.read_text()
+
+    def test_roundtrip_random(self, tmp_path, space, rng):
+        path = tmp_path / "spark-dac.conf"
+        for _ in range(5):
+            config = space.random(rng)
+            save_spark_conf(config, path)
+            loaded = load_spark_conf(path, space)
+            for name in space.names:
+                if isinstance(config[name], float):
+                    assert loaded[name] == pytest.approx(config[name], rel=1e-4)
+                else:
+                    assert loaded[name] == config[name]
+
+    def test_spark_unit_suffixes(self, space):
+        config = space.default()
+        assert format_value("spark.executor.memory", config["spark.executor.memory"]) == "1024m"
+        assert format_value("spark.shuffle.file.buffer", 32) == "32k"
+        assert format_value("spark.network.timeout", 120) == "120s"
+
+    def test_serializer_rendered_as_class_name(self):
+        assert (
+            format_value("spark.serializer", "kryo")
+            == "org.apache.spark.serializer.KryoSerializer"
+        )
+        assert parse_value(
+            "spark.serializer", "org.apache.spark.serializer.JavaSerializer"
+        ) == "java"
+
+    def test_partial_file_fills_defaults(self, tmp_path, space):
+        path = tmp_path / "partial.conf"
+        path.write_text("spark.executor.memory 8192m\nspark.serializer kryo\n")
+        config = load_spark_conf(path, space)
+        assert config["spark.executor.memory"] == 8192
+        assert config["spark.serializer"] == "kryo"
+        assert config["spark.executor.cores"] == 12  # default
+
+    def test_unknown_key_rejected(self, tmp_path, space):
+        path = tmp_path / "bad.conf"
+        path.write_text("spark.bogus 1\n")
+        with pytest.raises(ValueError, match="unknown parameter"):
+            load_spark_conf(path, space)
+
+    def test_malformed_line_rejected(self, tmp_path, space):
+        path = tmp_path / "bad.conf"
+        path.write_text("spark.executor.memory\n")
+        with pytest.raises(ValueError, match="key value"):
+            load_spark_conf(path, space)
+
+    def test_comments_and_blanks_ignored(self, tmp_path, space):
+        path = tmp_path / "c.conf"
+        path.write_text("# a comment\n\nspark.executor.cores 4\n")
+        assert load_spark_conf(path, space)["spark.executor.cores"] == 4
+
+    def test_spark_submit_rendering(self, space):
+        text = format_spark_submit(space.default(), "job.jar", "com.example.Main")
+        assert text.startswith("spark-submit")
+        assert "--conf spark.executor.memory=1024m" in text
+        assert text.rstrip().endswith("job.jar")

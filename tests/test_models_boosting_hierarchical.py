@@ -1,0 +1,140 @@
+"""Tests for gradient boosting (FirstOrderProcedure) and HM (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.models.boosting import GradientBoostedTrees
+from repro.models.hierarchical import HierarchicalModel
+from repro.models.metrics import mean_relative_error
+
+
+class TestGradientBoostedTrees:
+    def test_beats_a_single_tree(self, regression_data):
+        from repro.models.tree import RegressionTree
+
+        X, y = regression_data
+        Xt, yt, Xv, yv = X[:450], y[:450], X[450:], y[450:]
+        tree = RegressionTree(tree_complexity=5).fit(Xt, yt)
+        gbt = GradientBoostedTrees(n_trees=150, learning_rate=0.1).fit(Xt, yt)
+        tree_mse = np.mean((tree.predict(Xv) - yv) ** 2)
+        gbt_mse = np.mean((gbt.predict(Xv) - yv) ** 2)
+        assert gbt_mse < tree_mse
+
+    def test_validation_curve_recorded_per_tree(self, regression_data):
+        X, y = regression_data
+        model = GradientBoostedTrees(n_trees=50, patience=10**9).fit(X, y)
+        assert len(model.validation_errors_) == 50
+        assert model.n_trees_fitted == 50
+
+    def test_target_accuracy_stops_early(self, regression_data):
+        X, y = regression_data
+        model = GradientBoostedTrees(
+            n_trees=500, learning_rate=0.2, target_accuracy=0.50
+        ).fit(X, y)
+        assert model.stopped_reason_ == "target accuracy reached"
+        assert model.n_trees_fitted < 500
+
+    def test_convergence_stops_early(self, regression_data):
+        X, y = regression_data
+        model = GradientBoostedTrees(
+            n_trees=5000, learning_rate=0.3, patience=20, convergence_tol=1e-4
+        ).fit(X, y)
+        assert model.stopped_reason_ == "converged"
+        assert model.n_trees_fitted < 5000
+
+    def test_lower_lr_needs_more_trees(self, regression_data):
+        """Figure 8's shape: smaller learning rates converge slower."""
+        X, y = regression_data
+        fast = GradientBoostedTrees(n_trees=120, learning_rate=0.2,
+                                    patience=10**9).fit(X, y)
+        slow = GradientBoostedTrees(n_trees=120, learning_rate=0.005,
+                                    patience=10**9).fit(X, y)
+        assert fast.validation_errors_[-1] < slow.validation_errors_[-1]
+
+    def test_deterministic_given_seed(self, regression_data):
+        X, y = regression_data
+        a = GradientBoostedTrees(n_trees=30, random_state=5).fit(X, y).predict(X[:10])
+        b = GradientBoostedTrees(n_trees=30, random_state=5).fit(X, y).predict(X[:10])
+        assert np.allclose(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_trees=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=1.5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((1, 3)))
+
+    def test_explicit_measured_values_used_for_error(self, regression_data):
+        X, y = regression_data
+        measured = np.exp(y)
+        model = GradientBoostedTrees(n_trees=20, patience=10**9)
+        model.fit(X, y, measured=measured)
+        assert 0.0 < model.final_validation_error < 1.0
+
+
+class TestHierarchicalModel:
+    def test_stops_at_first_order_when_accurate(self, regression_data):
+        X, y = regression_data
+        model = HierarchicalModel(
+            n_trees=300, learning_rate=0.1, target_accuracy=0.5
+        ).fit(X, y)
+        assert model.order_ == 1
+        assert model.n_components == 1
+
+    def test_recurses_when_target_unreachable(self, regression_data):
+        X, y = regression_data
+        model = HierarchicalModel(
+            n_trees=20, learning_rate=0.02, target_accuracy=0.999, max_order=3
+        ).fit(X, y)
+        assert model.order_ == 3  # kept adding orders until the cap
+
+    def test_higher_order_never_worse_on_holdout(self, regression_data):
+        """NNLS stacking makes the combination at least as good as the
+        best single component on the holdout it was fitted on."""
+        X, y = regression_data
+        combo = HierarchicalModel(
+            n_trees=60, learning_rate=0.05, target_accuracy=0.99, max_order=2,
+            random_state=3,
+        ).fit(X, y)
+        single = HierarchicalModel(
+            n_trees=60, learning_rate=0.05, target_accuracy=0.0001, max_order=1,
+            random_state=3,
+        ).fit(X, y)
+        assert combo.holdout_error_ <= single.holdout_error_ + 1e-6
+
+    def test_weights_are_nonnegative(self, regression_data):
+        X, y = regression_data
+        model = HierarchicalModel(
+            n_trees=30, target_accuracy=0.999, max_order=2
+        ).fit(X, y)
+        assert np.all(model._weights >= 0)
+
+    def test_predict_shape(self, regression_data):
+        X, y = regression_data
+        model = HierarchicalModel(n_trees=30, target_accuracy=0.5).fit(X, y)
+        assert model.predict(X[:7]).shape == (7,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HierarchicalModel(max_order=0)
+        with pytest.raises(ValueError):
+            HierarchicalModel(target_accuracy=1.5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HierarchicalModel().predict(np.zeros((1, 3)))
+
+    def test_learns_simulator_data(self, small_training_set):
+        """Integration: HM fits actual collected performance vectors."""
+        ts = small_training_set
+        model = HierarchicalModel(n_trees=150, learning_rate=0.1).fit(
+            ts.features(), ts.log_times()
+        )
+        pred = np.exp(model.predict(ts.features()))
+        err = mean_relative_error(pred, ts.times())
+        assert err < 0.40  # in-sample fit on 120 points is decent

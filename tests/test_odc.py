@@ -1,0 +1,89 @@
+"""Tests for the Hadoop-like ODC simulator."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import derive_rng
+from repro.common.units import GB
+from repro.odc import OdcSimulator
+from repro.odc.confspace import HADOOP_CONF_SPACE, hadoop_configuration_space
+
+
+@pytest.fixture(scope="module")
+def odc():
+    return OdcSimulator()
+
+
+class TestConfSpace:
+    def test_about_ten_parameters(self):
+        # The paper: ODC has "around 10" performance-critical knobs.
+        assert len(HADOOP_CONF_SPACE) == 10
+
+    def test_defaults_build(self):
+        config = HADOOP_CONF_SPACE.default()
+        assert config["mapreduce.task.io.sort.mb"] == 100
+
+    def test_factory_fresh_copy(self):
+        assert hadoop_configuration_space() is not HADOOP_CONF_SPACE
+
+
+class TestOdcSimulator:
+    def test_deterministic(self, odc):
+        config = HADOOP_CONF_SPACE.default()
+        a = odc.run("KM", 18 * GB, config)
+        b = odc.run("KM", 18 * GB, config)
+        assert a.seconds == b.seconds
+
+    def test_iterative_programs_run_many_jobs(self, odc):
+        config = HADOOP_CONF_SPACE.default()
+        assert odc.run("KM", 18 * GB, config).num_jobs == 11
+        assert odc.run("PR", 18 * GB, config).num_jobs == 9
+        assert odc.run("WC", 18 * GB, config).num_jobs == 3
+
+    def test_monotone_in_datasize(self, odc):
+        config = HADOOP_CONF_SPACE.default()
+        times = [odc.run("PR", s * GB, config).seconds for s in (5, 10, 20, 40)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_dict_overrides_accepted(self, odc):
+        result = odc.run("KM", 10 * GB, {"mapreduce.job.reduces": 50})
+        assert result.seconds > 0
+
+    def test_compression_trades_cpu_for_io(self, odc):
+        # PR is shuffle-heavy: compression should change its runtime.
+        on = odc.run("PR", 40 * GB, {"mapreduce.map.output.compress": True})
+        off = odc.run("PR", 40 * GB, {"mapreduce.map.output.compress": False})
+        assert on.seconds != off.seconds
+
+    def test_bigger_sort_buffer_reduces_spills_for_pr(self, odc):
+        small = odc.run("PR", 40 * GB, {"mapreduce.task.io.sort.mb": 50,
+                                        "mapreduce.map.memory.mb": 8192})
+        big = odc.run("PR", 40 * GB, {"mapreduce.task.io.sort.mb": 2000,
+                                      "mapreduce.map.memory.mb": 8192})
+        assert big.seconds < small.seconds
+
+
+class TestOdcVsImc:
+    def test_odc_less_config_sensitive_than_imc(self, odc):
+        """The Figure 2 premise, at the substrate level: the relative
+        spread of Hadoop runtimes across random configurations is much
+        smaller than Spark's."""
+        from repro.sparksim.confspace import spark_configuration_space
+        from repro.sparksim.simulator import SparkSimulator
+        from repro.workloads import get_workload
+
+        rng = derive_rng("odc-vs-imc")
+        sspace = spark_configuration_space()
+        spark = SparkSimulator()
+        workload = get_workload("KM")
+
+        hadoop_times = [
+            odc.run("KM", workload.bytes_for(80.0), HADOOP_CONF_SPACE.random(rng)).seconds
+            for _ in range(40)
+        ]
+        spark_times = [
+            spark.run(workload.job(80.0), sspace.random(rng)).seconds
+            for _ in range(40)
+        ]
+        spread = lambda ts: np.percentile(ts, 90) / np.percentile(ts, 10)
+        assert spread(spark_times) > 1.5 * spread(hadoop_times)

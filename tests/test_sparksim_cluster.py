@@ -1,0 +1,72 @@
+"""Tests for the cluster hardware model."""
+
+import pytest
+
+from repro.common.units import GB
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+
+
+class TestPaperCluster:
+    def test_matches_section4_testbed(self):
+        assert PAPER_CLUSTER.worker_nodes == 5
+        assert PAPER_CLUSTER.total_cores == 360  # 432 minus the master's 72
+        assert PAPER_CLUSTER.memory_per_node_bytes == 64 * GB
+
+    def test_usable_memory_excludes_os(self):
+        assert (
+            PAPER_CLUSTER.usable_memory_per_node_bytes
+            == PAPER_CLUSTER.memory_per_node_bytes - PAPER_CLUSTER.os_reserved_bytes
+        )
+
+    def test_aggregates(self):
+        assert PAPER_CLUSTER.aggregate_disk_bandwidth == (
+            5 * PAPER_CLUSTER.disk_bandwidth_bytes_per_s
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(worker_nodes=0)
+
+    def test_rejects_memory_below_reservation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(memory_per_node_bytes=1 * GB, os_reserved_bytes=2 * GB)
+
+
+class TestBandwidthSharing:
+    def test_disk_share_divides_bandwidth(self):
+        one = PAPER_CLUSTER.disk_share(1)
+        four = PAPER_CLUSTER.disk_share(4)
+        assert one == PAPER_CLUSTER.disk_bandwidth_bytes_per_s
+        assert four == pytest.approx(one / 4)
+
+    def test_disk_contention_kicks_in_past_free_streams(self):
+        free = PAPER_CLUSTER.disk_contention_free_streams
+        # Up to the free-stream count: plain division.
+        assert PAPER_CLUSTER.disk_share(free) == pytest.approx(
+            PAPER_CLUSTER.disk_bandwidth_bytes_per_s / free
+        )
+        # Beyond: thrash makes the per-stream share sub-proportional.
+        assert PAPER_CLUSTER.disk_share(4 * free) < PAPER_CLUSTER.disk_share(free) / 4
+
+    def test_disk_share_monotone_decreasing(self):
+        shares = [PAPER_CLUSTER.disk_share(c) for c in (1, 2, 8, 16, 32, 72)]
+        assert all(a > b for a, b in zip(shares, shares[1:]))
+
+    def test_network_contention_milder_than_disk(self):
+        heavy = 72
+        disk_penalty = (
+            PAPER_CLUSTER.disk_bandwidth_bytes_per_s
+            / heavy
+            / PAPER_CLUSTER.disk_share(heavy)
+        )
+        net_penalty = (
+            PAPER_CLUSTER.network_bandwidth_bytes_per_s
+            / heavy
+            / PAPER_CLUSTER.network_share(heavy)
+        )
+        assert disk_penalty > net_penalty > 1.0
+
+    def test_zero_concurrency_clamped(self):
+        assert PAPER_CLUSTER.disk_share(0) == PAPER_CLUSTER.disk_bandwidth_bytes_per_s

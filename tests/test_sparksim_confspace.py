@@ -1,0 +1,105 @@
+"""Table 2 fidelity tests: the 41-parameter Spark configuration space."""
+
+import pytest
+
+from repro.common.space import CategoricalParameter, FloatParameter, IntParameter
+from repro.sparksim.confspace import SPARK_CONF_SPACE, spark_configuration_space
+
+
+class TestTable2:
+    def test_exactly_41_parameters(self):
+        assert len(SPARK_CONF_SPACE) == 41
+
+    def test_every_parameter_documented(self):
+        for p in SPARK_CONF_SPACE.parameters:
+            assert p.description, f"{p.name} lacks a description"
+
+    @pytest.mark.parametrize(
+        "name,low,high,default",
+        [
+            ("spark.reducer.maxSizeInFlight", 2, 128, 48),
+            ("spark.shuffle.file.buffer", 2, 128, 32),
+            ("spark.shuffle.sort.bypassMergeThreshold", 100, 1000, 200),
+            ("spark.speculation.interval", 10, 1000, 100),
+            ("spark.broadcast.blockSize", 2, 128, 4),
+            ("spark.kryoserializer.buffer.max", 8, 128, 64),
+            ("spark.driver.cores", 1, 12, 1),
+            ("spark.executor.cores", 1, 12, 12),
+            ("spark.driver.memory", 1024, 12288, 1024),
+            ("spark.executor.memory", 1024, 12288, 1024),
+            ("spark.akka.threads", 1, 8, 4),
+            ("spark.network.timeout", 20, 500, 120),
+            ("spark.locality.wait", 1, 10, 3),
+            ("spark.task.maxFailures", 1, 8, 4),
+            ("spark.default.parallelism", 8, 50, 24),
+        ],
+    )
+    def test_integer_ranges_and_defaults(self, name, low, high, default):
+        p = SPARK_CONF_SPACE[name]
+        assert isinstance(p, IntParameter)
+        assert (p.low, p.high, p.default) == (low, high, default)
+
+    @pytest.mark.parametrize(
+        "name,low,high,default",
+        [
+            ("spark.speculation.multiplier", 1.0, 5.0, 1.5),
+            ("spark.speculation.quantile", 0.0, 1.0, 0.75),
+            ("spark.memory.fraction", 0.5, 1.0, 0.75),
+            ("spark.memory.storageFraction", 0.5, 1.0, 0.5),
+        ],
+    )
+    def test_float_ranges_and_defaults(self, name, low, high, default):
+        p = SPARK_CONF_SPACE[name]
+        assert isinstance(p, FloatParameter)
+        assert (p.low, p.high, p.default) == (low, high, default)
+
+    @pytest.mark.parametrize(
+        "name,choices,default",
+        [
+            ("spark.io.compression.codec", ("snappy", "lzf", "lz4"), "snappy"),
+            ("spark.serializer", ("java", "kryo"), "java"),
+            ("spark.shuffle.manager", ("sort", "hash"), "sort"),
+        ],
+    )
+    def test_categorical_choices(self, name, choices, default):
+        p = SPARK_CONF_SPACE[name]
+        assert isinstance(p, CategoricalParameter)
+        assert p.choices == choices and p.default == default
+
+    @pytest.mark.parametrize(
+        "name,default",
+        [
+            ("spark.kryo.referenceTracking", True),
+            ("spark.shuffle.compress", True),
+            ("spark.shuffle.consolidateFiles", False),
+            ("spark.shuffle.spill", True),
+            ("spark.speculation", False),
+            ("spark.rdd.compress", False),
+            ("spark.localExecution.enabled", False),
+            ("spark.memory.offHeap.enabled", False),
+        ],
+    )
+    def test_boolean_defaults(self, name, default):
+        assert SPARK_CONF_SPACE[name].default is default
+
+    def test_table2_quirk_offheap_default_outside_range(self):
+        p = SPARK_CONF_SPACE["spark.memory.offHeap.size"]
+        assert p.default == 0 and p.low == 10  # preserved verbatim
+
+    def test_table2_quirk_memory_map_threshold(self):
+        p = SPARK_CONF_SPACE["spark.storage.memoryMapThreshold"]
+        assert p.default == 2 and (p.low, p.high) == (50, 500)
+
+    def test_default_configuration_constructs(self):
+        config = SPARK_CONF_SPACE.default()
+        assert config["spark.executor.memory"] == 1024
+
+    def test_factory_returns_fresh_equivalent_space(self):
+        fresh = spark_configuration_space()
+        assert fresh is not SPARK_CONF_SPACE
+        assert fresh.names == SPARK_CONF_SPACE.names
+
+    def test_random_configurations_valid(self, rng):
+        for _ in range(20):
+            config = SPARK_CONF_SPACE.random(rng)
+            assert len(config) == 41

@@ -1,0 +1,92 @@
+"""Tests for JobSpec/StageSpec validation and DAG utilities."""
+
+import pytest
+
+from repro.common.units import GB
+from repro.sparksim.dag import JobSpec, StageSpec
+
+
+def linear_job():
+    return JobSpec(
+        program="toy",
+        datasize_bytes=1 * GB,
+        stages=(
+            StageSpec(name="a", input_bytes=1 * GB, shuffle_out_ratio=0.5),
+            StageSpec(name="b", parents=("a",), shuffle_out_ratio=0.2),
+            StageSpec(name="c", parents=("b",)),
+        ),
+    )
+
+
+class TestStageSpec:
+    def test_rejects_zero_repeat(self):
+        with pytest.raises(ValueError, match="repeat"):
+            StageSpec(name="x", repeat=0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="x", input_bytes=-1)
+
+    def test_rejects_implausible_shuffle_ratio(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="x", shuffle_out_ratio=50.0)
+
+    def test_defaults_are_sane(self):
+        s = StageSpec(name="x")
+        assert s.repeat == 1 and s.parents == () and s.cache_output is None
+
+
+class TestJobSpec:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            JobSpec("p", 1.0, (StageSpec(name="a"), StageSpec(name="a")))
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            JobSpec("p", 1.0, (StageSpec(name="a", parents=("ghost",)),))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            JobSpec(
+                "p",
+                1.0,
+                (
+                    StageSpec(name="a", parents=("b",)),
+                    StageSpec(name="b", parents=("a",)),
+                ),
+            )
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("p", 1.0, ())
+
+    def test_topological_order_respects_dependencies(self):
+        order = [s.name for s in linear_job().topological_stages()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_diamond_topology(self):
+        job = JobSpec(
+            "p",
+            1.0,
+            (
+                StageSpec(name="root", input_bytes=1.0, shuffle_out_ratio=1.0),
+                StageSpec(name="left", parents=("root",), shuffle_out_ratio=1.0),
+                StageSpec(name="right", parents=("root",), shuffle_out_ratio=1.0),
+                StageSpec(name="join", parents=("left", "right")),
+            ),
+        )
+        order = [s.name for s in job.topological_stages()]
+        assert order[0] == "root" and order[-1] == "join"
+
+    def test_stage_lookup(self):
+        job = linear_job()
+        assert job.stage("b").parents == ("a",)
+        with pytest.raises(KeyError):
+            job.stage("zzz")
+
+    def test_total_input_bytes(self):
+        assert linear_job().total_input_bytes == 1 * GB
+
+    def test_graph_edges(self):
+        g = linear_job().graph()
+        assert set(g.edges) == {("a", "b"), ("b", "c")}

@@ -1,0 +1,162 @@
+"""Tests for the unified-memory and GC models (incl. hypothesis invariants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import GB, MB
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.config import SparkConf
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.gc import GcModel
+from repro.sparksim.memory import MemoryModel
+
+
+def conf(**overrides):
+    return SparkConf(SPARK_CONF_SPACE.from_dict(overrides), PAPER_CLUSTER)
+
+
+class TestExecutionAvailability:
+    def test_empty_cache_gets_whole_region(self):
+        c = conf(**{"spark.memory.storageFraction": 0.9})
+        m = MemoryModel(c)
+        assert m.execution_available_per_task(0.0) == pytest.approx(
+            c.spark_memory_per_executor / c.executor_cores
+        )
+
+    def test_resident_cache_shrinks_execution(self):
+        m = MemoryModel(conf(**{"spark.executor.memory": 8192}))
+        free = m.execution_available_per_task(0.0)
+        squeezed = m.execution_available_per_task(3 * GB)
+        assert squeezed < free
+
+    def test_protection_capped_at_storage_fraction(self):
+        c = conf(**{"spark.memory.storageFraction": 0.5,
+                    "spark.executor.memory": 8192})
+        m = MemoryModel(c)
+        # Beyond the protected watermark, extra cache is evictable.
+        at_watermark = m.execution_available_per_task(
+            c.protected_storage_per_executor
+        )
+        overfull = m.execution_available_per_task(100 * GB)
+        assert at_watermark == pytest.approx(overfull)
+
+    def test_off_heap_adds_execution_memory(self):
+        off = conf(**{"spark.memory.offHeap.enabled": True,
+                      "spark.memory.offHeap.size": 1000})
+        on_heap_only = conf()
+        assert MemoryModel(off).execution_available_per_task(0) > (
+            MemoryModel(on_heap_only).execution_available_per_task(0)
+        )
+
+
+class TestTaskOutcome:
+    def test_small_working_set_is_free(self):
+        outcome = MemoryModel(conf(**{"spark.executor.memory": 12288})).task_outcome(
+            10 * MB
+        )
+        assert outcome.spill_bytes == 0.0
+        assert outcome.oom_probability < 0.05
+
+    def test_overflow_spills(self):
+        m = MemoryModel(conf(**{"spark.executor.memory": 1024}))
+        available = m.execution_available_per_task(0)
+        outcome = m.task_outcome(available * 3)
+        assert outcome.spill_bytes == pytest.approx(available * 2)
+
+    def test_extreme_unspillable_pressure_ooms(self):
+        m = MemoryModel(conf(**{"spark.executor.memory": 1024,
+                                "spark.executor.cores": 12}))
+        outcome = m.task_outcome(4 * GB, unspillable_fraction=0.35)
+        assert outcome.oom_probability > 0.5
+
+    def test_user_region_overflow_ooms_even_with_room_to_spill(self):
+        # memory.fraction ~ 1.0 starves the user region.
+        m = MemoryModel(conf(**{"spark.memory.fraction": 0.999,
+                                "spark.executor.cores": 12}))
+        outcome = m.task_outcome(1 * MB, user_object_bytes=500 * MB)
+        assert outcome.oom_probability > 0.5
+
+    def test_shuffle_spill_flag_is_noop_in_16(self):
+        """spark.shuffle.spill is deprecated in Spark 1.6 (always spills)."""
+        on = MemoryModel(conf(**{"spark.shuffle.spill": True}))
+        off = MemoryModel(conf(**{"spark.shuffle.spill": False}))
+        a, b = on.task_outcome(2 * GB), off.task_outcome(2 * GB)
+        assert a.spill_bytes == b.spill_bytes
+        assert a.oom_probability == b.oom_probability
+
+    @given(
+        ws=st.floats(min_value=1e6, max_value=8e9),
+        heap=st.integers(min_value=1024, max_value=12288),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_oom_probability_is_a_probability(self, ws, heap):
+        outcome = MemoryModel(conf(**{"spark.executor.memory": heap})).task_outcome(ws)
+        assert 0.0 <= outcome.oom_probability <= 1.0
+        assert outcome.spill_bytes >= 0.0
+
+    @given(st.floats(min_value=1e6, max_value=8e9))
+    @settings(max_examples=30, deadline=None)
+    def test_more_heap_never_hurts(self, ws):
+        """Monotonicity: a bigger heap never raises spill or OOM risk."""
+        small = MemoryModel(conf(**{"spark.executor.memory": 2048})).task_outcome(ws)
+        big = MemoryModel(conf(**{"spark.executor.memory": 12288})).task_outcome(ws)
+        assert big.spill_bytes <= small.spill_bytes
+        assert big.oom_probability <= small.oom_probability + 1e-9
+
+
+class TestCacheAdmission:
+    def test_everything_fits_small_cache(self):
+        m = MemoryModel(conf(**{"spark.executor.memory": 12288,
+                                "spark.executor.cores": 2}))
+        assert m.cache_hit_fraction(1 * GB) == 1.0
+
+    def test_hit_fraction_decreases_with_footprint(self):
+        m = MemoryModel(conf())
+        hits = [m.cache_hit_fraction(x * GB) for x in (10, 100, 1000)]
+        assert hits[0] >= hits[1] >= hits[2]
+        assert hits[2] < 0.5
+
+    def test_zero_footprint_full_hit(self):
+        assert MemoryModel(conf()).cache_hit_fraction(0.0) == 1.0
+
+
+class TestGcModel:
+    def test_occupancy_monotone_in_live_bytes(self):
+        gc = GcModel(conf(**{"spark.executor.memory": 4096}))
+        low = gc.occupancy(100 * MB, 0, 0)
+        high = gc.occupancy(1 * GB, 0, 0)
+        assert 0 <= low < high <= 0.995
+
+    def test_occupancy_factor_explodes_near_full(self):
+        gc = GcModel(conf())
+        assert gc.occupancy_factor(0.1) < 2.0
+        assert gc.occupancy_factor(0.95) > 10.0
+        assert gc.occupancy_factor(0.995) <= gc.MAX_OCCUPANCY_FACTOR
+
+    def test_gc_seconds_scale_with_allocation(self):
+        gc = GcModel(conf(**{"spark.executor.memory": 8192}))
+        one = gc.gc_seconds(1 * GB, 100 * MB, 0)
+        two = gc.gc_seconds(2 * GB, 100 * MB, 0)
+        assert two == pytest.approx(2 * one)
+
+    def test_cached_data_raises_gc_cost(self):
+        gc = GcModel(conf(**{"spark.executor.memory": 8192}))
+        idle = gc.gc_seconds(1 * GB, 100 * MB, 0)
+        cached = gc.gc_seconds(1 * GB, 100 * MB, 5 * GB)
+        assert cached > idle
+
+    def test_off_heap_reduces_occupancy(self):
+        base = {"spark.executor.memory": 4096}
+        without = GcModel(conf(**base))
+        with_off = GcModel(conf(**{**base, "spark.memory.offHeap.enabled": True,
+                                   "spark.memory.offHeap.size": 1000}))
+        assert with_off.occupancy(100 * MB, 1 * GB, 0) < without.occupancy(
+            100 * MB, 1 * GB, 0
+        )
+
+    def test_max_pause_grows_with_gc_time_and_occupancy(self):
+        gc = GcModel(conf())
+        assert gc.max_pause_seconds(0.0, 0.5) == 0.0
+        assert gc.max_pause_seconds(10.0, 0.9) > gc.max_pause_seconds(1.0, 0.9)
+        assert gc.max_pause_seconds(10.0, 0.9) > gc.max_pause_seconds(10.0, 0.1)

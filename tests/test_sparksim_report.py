@@ -1,0 +1,77 @@
+"""Tests for the run-report renderer and diagnosis."""
+
+import pytest
+
+from repro.core.baselines import default_configuration
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.report import compare_runs, diagnose, render_run_report
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def default_run(simulator=None):
+    from repro.sparksim.simulator import SparkSimulator
+
+    sim = SparkSimulator()
+    return sim.run(get_workload("TS").job(40.0), default_configuration())
+
+
+@pytest.fixture(scope="module")
+def tuned_run():
+    from repro.sparksim.simulator import SparkSimulator
+
+    sim = SparkSimulator()
+    config = SPARK_CONF_SPACE.from_dict(
+        {
+            "spark.executor.memory": 12288,
+            "spark.executor.cores": 1,
+            "spark.serializer": "kryo",
+            "spark.default.parallelism": 50,
+            "spark.memory.fraction": 0.9,
+        }
+    )
+    return sim.run(get_workload("TS").job(40.0), config)
+
+
+class TestRenderRunReport:
+    def test_contains_every_stage(self, default_run):
+        text = render_run_report(default_run)
+        for stage in default_run.stages:
+            assert stage.name in text
+
+    def test_shares_sum_sensibly(self, default_run):
+        text = render_run_report(default_run)
+        assert "%" in text and "totals:" in text and "verdict:" in text
+
+    def test_custom_title(self, default_run):
+        assert "my run" in render_run_report(default_run, title="my run")
+
+    def test_notable_extras_shown_for_sick_run(self, default_run):
+        # Default TeraSort at 40 GB spills and retries: the extras line
+        # must surface at least one of those.
+        text = render_run_report(default_run)
+        assert "spill=" in text or "attempts=" in text
+
+
+class TestDiagnose:
+    def test_default_config_is_pathological(self, default_run):
+        verdict = diagnose(default_run)
+        assert verdict.bottleneck in ("gc", "spill", "retries")
+        assert verdict.detail
+
+    def test_tuned_config_is_healthy(self, tuned_run):
+        verdict = diagnose(tuned_run)
+        assert verdict.bottleneck in ("compute", "io", "shuffle")
+
+
+class TestCompareRuns:
+    def test_side_by_side(self, default_run, tuned_run):
+        text = compare_runs(default_run, tuned_run, labels=("default", "DAC"))
+        assert "default" in text and "DAC" in text
+        assert "stage2-sort-write" in text
+        assert "GC" in text
+
+    def test_ratio_reported(self, default_run, tuned_run):
+        text = compare_runs(default_run, tuned_run)
+        ratio = default_run.seconds / tuned_run.seconds
+        assert f"({ratio:.1f}x)" in text

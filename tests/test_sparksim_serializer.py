@@ -1,0 +1,89 @@
+"""Tests for the serialization and compression cost models."""
+
+import pytest
+
+from repro.common.units import MB
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.config import SparkConf
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.serializer import CompressionModel, SerializerModel
+
+
+def conf(**overrides):
+    return SparkConf(SPARK_CONF_SPACE.from_dict(overrides), PAPER_CLUSTER)
+
+
+class TestSerializerModel:
+    def test_kryo_faster_than_java(self):
+        java = SerializerModel(conf(**{"spark.serializer": "java"}))
+        kryo = SerializerModel(conf(**{"spark.serializer": "kryo"}))
+        assert kryo.serialize_seconds_per_byte() < java.serialize_seconds_per_byte()
+        assert kryo.deserialize_seconds_per_byte() < java.deserialize_seconds_per_byte()
+
+    def test_kryo_denser_on_the_wire(self):
+        java = SerializerModel(conf(**{"spark.serializer": "java"}))
+        kryo = SerializerModel(conf(**{"spark.serializer": "kryo"}))
+        assert kryo.wire_ratio() < java.wire_ratio()
+
+    def test_reference_tracking_costs(self):
+        base = {"spark.serializer": "kryo", "spark.kryo.referenceTracking": False}
+        off = SerializerModel(conf(**base))
+        on = SerializerModel(conf(**{**base, "spark.kryo.referenceTracking": True}))
+        assert on.serialize_seconds_per_byte() > off.serialize_seconds_per_byte()
+
+    def test_tiny_kryo_buffer_penalized(self):
+        big = SerializerModel(conf(**{"spark.serializer": "kryo",
+                                      "spark.kryoserializer.buffer": 64}))
+        tiny = SerializerModel(conf(**{"spark.serializer": "kryo",
+                                       "spark.kryoserializer.buffer": 2}))
+        assert tiny.serialize_seconds_per_byte() > big.serialize_seconds_per_byte()
+
+    def test_java_ignores_kryo_knobs(self):
+        a = SerializerModel(conf(**{"spark.kryoserializer.buffer": 2}))
+        b = SerializerModel(conf(**{"spark.kryoserializer.buffer": 128}))
+        assert a.serialize_seconds_per_byte() == b.serialize_seconds_per_byte()
+
+    def test_record_overflow_risk_kryo_only(self):
+        kryo = SerializerModel(conf(**{"spark.serializer": "kryo",
+                                       "spark.kryoserializer.buffer.max": 8}))
+        java = SerializerModel(conf(**{"spark.serializer": "java"}))
+        assert kryo.record_failure_risk(12 * MB) > 0.5
+        assert kryo.record_failure_risk(1 * MB) == 0.0
+        assert java.record_failure_risk(200 * MB) == 0.0
+
+    def test_rdd_compress_shrinks_cache_but_costs_cpu(self):
+        plain = SerializerModel(conf(**{"spark.rdd.compress": False}))
+        packed = SerializerModel(conf(**{"spark.rdd.compress": True,
+                                         "spark.serializer": "kryo"}))
+        assert packed.cached_bytes_per_raw_byte() < plain.cached_bytes_per_raw_byte()
+        assert packed.cache_reuse_seconds_per_byte() > 0.0
+        assert plain.cache_reuse_seconds_per_byte() == 0.0
+
+
+class TestCompressionModel:
+    @pytest.mark.parametrize("codec", ["snappy", "lzf", "lz4"])
+    def test_all_codecs_compress(self, codec):
+        model = CompressionModel(conf(**{"spark.io.compression.codec": codec}))
+        assert 0.3 <= model.ratio() < 1.0
+        assert model.compress_seconds_per_byte() > 0
+        assert model.decompress_seconds_per_byte() < model.compress_seconds_per_byte()
+
+    def test_lzf_denser_but_slower_than_snappy(self):
+        snappy = CompressionModel(conf(**{"spark.io.compression.codec": "snappy"}))
+        lzf = CompressionModel(conf(**{"spark.io.compression.codec": "lzf"}))
+        assert lzf.ratio() < snappy.ratio()
+        assert lzf.compress_seconds_per_byte() > snappy.compress_seconds_per_byte()
+
+    def test_larger_blocks_improve_ratio(self):
+        small = CompressionModel(conf(**{"spark.io.compression.codec": "lz4",
+                                         "spark.io.compression.lz4.blockSize": 2}))
+        large = CompressionModel(conf(**{"spark.io.compression.codec": "lz4",
+                                         "spark.io.compression.lz4.blockSize": 128}))
+        assert large.ratio() < small.ratio()
+
+    def test_small_blocks_cost_cpu(self):
+        small = CompressionModel(conf(**{"spark.io.compression.codec": "lz4",
+                                         "spark.io.compression.lz4.blockSize": 2}))
+        base = CompressionModel(conf(**{"spark.io.compression.codec": "lz4",
+                                        "spark.io.compression.lz4.blockSize": 32}))
+        assert small.compress_seconds_per_byte() > base.compress_seconds_per_byte()

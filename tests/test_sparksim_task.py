@@ -1,0 +1,132 @@
+"""Tests for the per-stage task cost composition."""
+
+import math
+
+import pytest
+
+from repro.common.units import GB, MB
+from repro.sparksim.cluster import PAPER_CLUSTER
+from repro.sparksim.config import SparkConf
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.dag import StageSpec
+from repro.sparksim.task import StageCostModel
+
+
+def model(**overrides):
+    return StageCostModel(
+        SparkConf(SPARK_CONF_SPACE.from_dict(overrides), PAPER_CLUSTER), PAPER_CLUSTER
+    )
+
+
+def input_stage(data=10 * GB, **kwargs):
+    defaults = dict(name="in", input_bytes=data, cpu_seconds_per_mb=0.01)
+    defaults.update(kwargs)
+    return StageSpec(**defaults)
+
+
+def shuffle_stage(**kwargs):
+    defaults = dict(name="red", parents=("in",), cpu_seconds_per_mb=0.01)
+    defaults.update(kwargs)
+    return StageSpec(**defaults)
+
+
+class TestPartitioning:
+    def test_input_stage_partitioned_by_hdfs_blocks(self):
+        m = model()
+        stage = input_stage(data=10 * GB)
+        assert m.num_partitions(stage) == math.ceil(10 * GB / (128 * MB))
+
+    def test_shuffle_stage_partitioned_by_parallelism(self):
+        m = model(**{"spark.default.parallelism": 37})
+        assert m.num_partitions(shuffle_stage()) == 37
+
+    def test_tiny_input_still_one_partition(self):
+        assert model().num_partitions(input_stage(data=1.0)) == 1
+
+
+class TestLocality:
+    def test_longer_wait_better_locality(self):
+        impatient = model(**{"spark.locality.wait": 1})
+        patient = model(**{"spark.locality.wait": 10})
+        assert patient.local_fraction() > impatient.local_fraction()
+
+    def test_locality_bounded(self):
+        for wait in (1, 5, 10):
+            frac = model(**{"spark.locality.wait": wait}).local_fraction()
+            assert 0.0 < frac < 1.0
+
+
+class TestProfile:
+    def _profile(self, m, stage, shuffle_in=0.0, cache_resident=0.0, hit=0.0):
+        return m.profile(
+            stage,
+            shuffle_in_bytes=shuffle_in,
+            resident_cache_bytes_per_executor=cache_resident,
+            cache_hit_fraction=hit,
+            num_reduce_partitions_out=24,
+        )
+
+    def test_components_positive_and_sum(self):
+        p = self._profile(model(), input_stage(shuffle_out_ratio=0.5))
+        assert p.compute_seconds > 0 and p.io_seconds > 0 and p.shuffle_seconds > 0
+        assert p.mean_seconds == pytest.approx(
+            p.compute_seconds + p.io_seconds + p.shuffle_seconds + p.gc_seconds
+        )
+
+    def test_cpu_trait_scales_compute(self):
+        m = model()
+        light = self._profile(m, input_stage(cpu_seconds_per_mb=0.005))
+        heavy = self._profile(m, input_stage(cpu_seconds_per_mb=0.05))
+        assert heavy.compute_seconds > 5 * light.compute_seconds
+
+    def test_cache_hit_removes_input_io(self):
+        m = model()
+        stage = input_stage(reads_cached="rdd")
+        miss = self._profile(m, stage, hit=0.0)
+        hit = self._profile(m, stage, hit=1.0)
+        assert hit.io_seconds < miss.io_seconds
+
+    def test_compressed_cache_reuse_costs_cpu(self):
+        m = model(**{"spark.rdd.compress": True, "spark.serializer": "kryo"})
+        stage = input_stage(reads_cached="rdd")
+        hit = self._profile(m, stage, hit=1.0)
+        miss = self._profile(m, stage, hit=0.0)
+        assert hit.compute_seconds > miss.compute_seconds
+
+    def test_shuffle_input_adds_shuffle_time(self):
+        m = model()
+        dry = self._profile(m, shuffle_stage())
+        wet = self._profile(m, shuffle_stage(), shuffle_in=5 * GB)
+        assert wet.shuffle_seconds > dry.shuffle_seconds
+        assert wet.network_seconds > 0
+
+    def test_resident_cache_inflates_gc(self):
+        m = model(**{"spark.executor.memory": 4096})
+        calm = self._profile(m, input_stage())
+        loaded = self._profile(m, input_stage(), cache_resident=2 * GB)
+        assert loaded.gc_seconds > calm.gc_seconds
+
+    def test_small_parallelism_concentrates_memory_demand(self):
+        low = model(**{"spark.default.parallelism": 8})
+        high = model(**{"spark.default.parallelism": 50})
+        stage = shuffle_stage(working_set_factor=1.0)
+        p_low = self._profile(low, stage, shuffle_in=20 * GB)
+        p_high = self._profile(high, stage, shuffle_in=20 * GB)
+        assert p_low.spill_bytes > p_high.spill_bytes
+
+    def test_kryo_buffer_overflow_raises_failure_risk(self):
+        m = model(**{"spark.serializer": "kryo",
+                     "spark.kryoserializer.buffer.max": 8})
+        safe = self._profile(m, input_stage(record_bytes=256.0))
+        risky = self._profile(m, input_stage(record_bytes=16 * MB))
+        assert risky.oom_probability > safe.oom_probability + 0.5
+
+    def test_default_config_high_pressure_on_big_shuffle(self):
+        """The paper's default-config pathology, at the profile level."""
+        m = model()  # 1 GB executors, 12 cores
+        p = self._profile(
+            m, shuffle_stage(working_set_factor=1.2, unspillable_fraction=0.3),
+            shuffle_in=40 * GB,
+        )
+        assert p.oom_probability > 0.3
+        assert p.spill_bytes > 0
