@@ -7,9 +7,12 @@ a real execution costs minutes.
 """
 
 import numpy as np
+import pytest
 
 from repro.common.rng import derive_rng
+from repro.core.collecting import Collector
 from repro.core.ga import GeneticAlgorithm
+from repro.engine import InProcessBackend, ProcessPoolBackend
 from repro.models import GradientBoostedTrees, RandomForest
 from repro.sparksim.confspace import SPARK_CONF_SPACE
 from repro.sparksim.simulator import SparkSimulator
@@ -68,6 +71,37 @@ def test_rf_fit_500x41(benchmark):
     y = rng.random(500)
     model = benchmark(lambda: RandomForest(n_trees=40).fit(X, y))
     assert len(model._trees) == 40
+
+
+@pytest.fixture(scope="module")
+def _pool4():
+    """One persistent 4-worker pool shared across benchmark rounds, so
+    the measurement is batch throughput, not pool start-up."""
+    with ProcessPoolBackend(jobs=4) as pool:
+        yield pool
+
+
+def test_collect_200_serial(benchmark, once):
+    """200-example TeraSort collection through the in-process backend."""
+    def collect():
+        collector = Collector(get_workload("TS"), seed=11, engine=InProcessBackend())
+        return collector.collect(200)
+
+    assert len(benchmark.pedantic(collect, **once)) == 200
+
+
+def test_collect_200_processpool_jobs4(benchmark, once, _pool4):
+    """Same 200-example collection fanned out with ``--jobs 4``.
+
+    Identical results to the serial run (the simulator seeds every draw
+    from the request triple); on a multi-core runner the speedup is the
+    collecting component's batch parallelism.
+    """
+    def collect():
+        collector = Collector(get_workload("TS"), seed=11, engine=_pool4)
+        return collector.collect(200)
+
+    assert len(benchmark.pedantic(collect, **once)) == 200
 
 
 def test_ga_generation_throughput(benchmark):

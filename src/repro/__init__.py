@@ -9,20 +9,24 @@ baselines.
 
 Quickstart::
 
-    from repro import DacTuner, SparkSimulator, get_workload
+    from repro import DacTuner, InProcessBackend, get_workload
 
     workload = get_workload("TS")         # TeraSort
-    tuner = DacTuner(workload)            # fast-scale defaults
+    engine = InProcessBackend()           # or ProcessPoolBackend(jobs=4)
+    tuner = DacTuner(workload, engine=engine)
     tuner.collect()                       # run the collecting component
     tuner.fit()                           # train the HM model
     report = tuner.tune(datasize=30.0)    # 30 GB target input
 
-    sim = SparkSimulator()
-    result = sim.run(workload.job(30.0), report.configuration)
+    result = engine.run(workload.job(30.0), report.configuration)
     print(result.seconds)
+    print(engine.stats.summary())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+All substrate executions flow through :mod:`repro.engine`; the
+simulator itself (:class:`SparkSimulator`) stays available for direct,
+low-level use.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record of every table and
+figure.
 """
 
 from repro.core import (
@@ -34,6 +38,17 @@ from repro.core import (
     TrainingSet,
     TuningReport,
     default_configuration,
+)
+from repro.engine import (
+    CachedBackend,
+    EngineStats,
+    ExecRequest,
+    ExecResult,
+    ExecutionBackend,
+    ExecutionError,
+    FailedRun,
+    InProcessBackend,
+    ProcessPoolBackend,
 )
 from repro.models import HierarchicalModel
 from repro.odc import OdcSimulator
@@ -49,13 +64,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_WORKLOADS",
+    "CachedBackend",
     "ClusterSpec",
     "Collector",
     "DacTuner",
+    "EngineStats",
+    "ExecRequest",
+    "ExecResult",
+    "ExecutionBackend",
+    "ExecutionError",
     "ExpertTuner",
+    "FailedRun",
     "GeneticAlgorithm",
     "HierarchicalModel",
+    "InProcessBackend",
     "OdcSimulator",
+    "ProcessPoolBackend",
     "RfhocTuner",
     "SPARK_CONF_SPACE",
     "SparkConf",

@@ -10,15 +10,35 @@ from repro.core.baselines import default_configuration
 from repro.core.collecting import Collector
 from repro.core.expert import ExpertTuner
 from repro.core.tuner import DacTuner
+from repro.engine import (
+    ExecRequest,
+    ExecutionBackend,
+    FailedRun,
+    InProcessBackend,
+    ProcessPoolBackend,
+    require_success,
+)
 from repro.io import (
     format_spark_submit,
     load_spark_conf,
     save_spark_conf,
     save_training_set,
 )
-from repro.sparksim.cluster import PAPER_CLUSTER
-from repro.sparksim.simulator import SparkSimulator
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.workloads import ALL_WORKLOADS, get_workload
+
+#: Names accepted by ``--backend``.
+BACKENDS = ("inprocess", "processpool")
+
+
+def build_backend(
+    args: argparse.Namespace, cluster: ClusterSpec = PAPER_CLUSTER
+) -> ExecutionBackend:
+    """Construct the substrate backend selected by ``--backend/--jobs``."""
+    name = getattr(args, "backend", "inprocess")
+    if name == "processpool":
+        return ProcessPoolBackend(jobs=getattr(args, "jobs", None), cluster=cluster)
+    return InProcessBackend(cluster)
 
 #: Experiment registry: name -> (module, render callable).
 def _experiment_registry() -> Dict[str, Callable]:
@@ -63,12 +83,14 @@ EXPERIMENTS = tuple(_experiment_registry())
 def cmd_tune(args: argparse.Namespace) -> int:
     workload = get_workload(args.program)
     print(f"Tuning {workload.name} for size {args.size} {workload.unit} ...")
+    engine = build_backend(args)
     tuner = DacTuner(
         workload,
         n_train=args.train,
         n_trees=args.trees,
         learning_rate=args.learning_rate,
         seed=args.seed,
+        engine=engine,
     )
     tuner.collect()
     tuner.fit()
@@ -77,12 +99,22 @@ def cmd_tune(args: argparse.Namespace) -> int:
     print(f"  GA converged at generation {report.ga.converged_at}")
     print(f"  predicted time: {fmt_duration(report.predicted_seconds)}")
 
-    simulator = SparkSimulator(tuner.cluster)
     job = workload.job(args.size)
-    tuned = simulator.run(job, report.configuration).seconds
-    default = simulator.run(job, default_configuration()).seconds
+    tuned, default = (
+        run.seconds
+        for run in require_success(
+            engine.submit(
+                [
+                    ExecRequest(job=job, config=report.configuration),
+                    ExecRequest(job=job, config=default_configuration()),
+                ]
+            )
+        )
+    )
     print(f"  measured: DAC {fmt_duration(tuned)} vs default "
           f"{fmt_duration(default)} ({default / tuned:.1f}x)")
+    print(f"  {engine.stats.summary()}")
+    engine.close()
 
     if args.output:
         save_spark_conf(
@@ -99,7 +131,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 def cmd_collect(args: argparse.Namespace) -> int:
     workload = get_workload(args.program)
-    collector = Collector(workload, seed=args.seed)
+    engine = build_backend(args)
+    collector = Collector(workload, seed=args.seed, engine=engine)
     print(f"Collecting {args.examples} performance vectors for "
           f"{workload.name} over {len(collector.sizes)} input sizes ...")
     training = collector.collect(args.examples)
@@ -107,6 +140,8 @@ def cmd_collect(args: argparse.Namespace) -> int:
     hours = collector.simulated_hours(training)
     print(f"  wrote {args.output} ({len(training)} rows, "
           f"{hours:.1f} simulated cluster-hours)")
+    print(f"  {engine.stats.summary()}")
+    engine.close()
     return 0
 
 
@@ -125,7 +160,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         source = "Table-2 defaults"
 
     job = workload.job(args.size)
-    result = SparkSimulator().run(job, config)
+    with build_backend(args) as engine:
+        outcome = engine.submit([ExecRequest(job=job, config=config)])[0]
+    if isinstance(outcome, FailedRun):
+        print(f"error: execution failed after {outcome.attempts} attempts: "
+              f"{outcome.error}")
+        return 1
+    result = outcome.run
     print(f"{workload.name} @ {args.size} {workload.unit} "
           f"({fmt_bytes(job.datasize_bytes)}) under {source}:")
     print(f"  total: {fmt_duration(result.seconds)}  "
@@ -147,11 +188,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments.common import FAST, PAPER
+    from repro.experiments.common import (
+        FAST,
+        PAPER,
+        configure_shared_engine,
+        shared_engine,
+    )
 
     scale = PAPER if args.scale == "paper" else FAST
+    if getattr(args, "backend", "inprocess") != "inprocess":
+        configure_shared_engine(build_backend(args))
     registry = _experiment_registry()
     print(registry[args.name](scale))
+    print(shared_engine().stats.summary())
     return 0
 
 

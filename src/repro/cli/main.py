@@ -9,6 +9,23 @@ from typing import List, Optional
 from repro.cli import commands
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """``--backend/--jobs``: which execution engine runs the substrate."""
+    parser.add_argument(
+        "--backend",
+        choices=commands.BACKENDS,
+        default="inprocess",
+        help="execution backend for substrate runs (default: inprocess)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend processpool (default: CPU count)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -39,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the tuned configuration as spark-dac.conf")
     tune.add_argument("--spark-submit", action="store_true",
                       help="print the equivalent spark-submit command")
+    _add_engine_flags(tune)
     tune.set_defaults(handler=commands.cmd_tune)
 
     # -- collect ----------------------------------------------------------
@@ -50,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--output", metavar="PATH", required=True,
                          help="CSV file to write (the paper's matrix S)")
+    _add_engine_flags(collect)
     collect.set_defaults(handler=commands.cmd_collect)
 
     # -- run --------------------------------------------------------------
@@ -66,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-stage breakdown")
     run.add_argument("--report", action="store_true",
                      help="print the full run report with bottleneck diagnosis")
+    _add_engine_flags(run)
     run.set_defaults(handler=commands.cmd_run)
 
     # -- experiment ---------------------------------------------------------
@@ -78,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figure/table to reproduce",
     )
     experiment.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    _add_engine_flags(experiment)
     experiment.set_defaults(handler=commands.cmd_experiment)
 
     # -- workloads -----------------------------------------------------------

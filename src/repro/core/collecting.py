@@ -23,9 +23,9 @@ import numpy as np
 
 from repro.common.rng import derive_rng
 from repro.common.space import Configuration, ConfigurationSpace
+from repro.engine import ExecRequest, ExecutionBackend, InProcessBackend, require_success
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.confspace import SPARK_CONF_SPACE
-from repro.sparksim.simulator import SparkSimulator
 from repro.workloads.base import Workload
 from repro.workloads.datagen import DatasetSizeGenerator
 
@@ -55,6 +55,11 @@ class TrainingSet:
         self.space = space
         self.vectors: Tuple[PerformanceVector, ...] = tuple(vectors)
         self._size_scale = max(v.datasize_bytes for v in self.vectors)
+        # Matrix views are rebuilt lazily once; ``vectors`` is immutable,
+        # so the cached (read-only) arrays can be handed out directly.
+        self._features: Optional[np.ndarray] = None
+        self._log_times: Optional[np.ndarray] = None
+        self._times: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.vectors)
@@ -65,17 +70,24 @@ class TrainingSet:
         return self._size_scale
 
     def features(self) -> np.ndarray:
-        """(n, 42) matrix: 41 encoded parameters + normalized datasize."""
-        rows = [
-            np.concatenate(
-                [
-                    self.space.encode(v.configuration),
-                    [v.datasize_bytes / self._size_scale],
-                ]
-            )
-            for v in self.vectors
-        ]
-        return np.vstack(rows)
+        """(n, 42) matrix: 41 encoded parameters + normalized datasize.
+
+        Built once and cached (read-only) — copy before mutating.
+        """
+        if self._features is None:
+            rows = [
+                np.concatenate(
+                    [
+                        self.space.encode(v.configuration),
+                        [v.datasize_bytes / self._size_scale],
+                    ]
+                )
+                for v in self.vectors
+            ]
+            matrix = np.vstack(rows)
+            matrix.setflags(write=False)
+            self._features = matrix
+        return self._features
 
     def feature_row(self, config: Configuration, datasize_bytes: float) -> np.ndarray:
         """Single feature row for model queries."""
@@ -84,10 +96,20 @@ class TrainingSet:
         )
 
     def log_times(self) -> np.ndarray:
-        return np.log(np.array([v.seconds for v in self.vectors]))
+        """Cached (read-only) log-time targets — copy before mutating."""
+        if self._log_times is None:
+            logs = np.log(self.times())
+            logs.setflags(write=False)
+            self._log_times = logs
+        return self._log_times
 
     def times(self) -> np.ndarray:
-        return np.array([v.seconds for v in self.vectors])
+        """Cached (read-only) raw-seconds targets — copy before mutating."""
+        if self._times is None:
+            seconds = np.array([v.seconds for v in self.vectors])
+            seconds.setflags(write=False)
+            self._times = seconds
+        return self._times
 
     def merged_with(self, other: "TrainingSet") -> "TrainingSet":
         if other.space is not self.space and other.space.names != self.space.names:
@@ -110,6 +132,12 @@ class Collector:
         The paper's ``m`` (default 10).
     seed:
         Root of the CG's random stream.
+    engine:
+        The :class:`~repro.engine.ExecutionBackend` that executes the
+        (configuration, size) pairs.  Defaults to a fresh
+        :class:`~repro.engine.InProcessBackend` on ``cluster``; pass a
+        :class:`~repro.engine.ProcessPoolBackend` to collect across
+        cores or a :class:`~repro.engine.CachedBackend` to reuse runs.
     """
 
     def __init__(
@@ -119,13 +147,14 @@ class Collector:
         space: ConfigurationSpace = SPARK_CONF_SPACE,
         num_sizes: int = 10,
         seed: int = 0,
+        engine: Optional[ExecutionBackend] = None,
     ):
         self.workload = workload
         self.cluster = cluster
         self.space = space
         self.num_sizes = num_sizes
         self.seed = seed
-        self.simulator = SparkSimulator(cluster)
+        self.engine = engine if engine is not None else InProcessBackend(cluster)
         low, high = workload.size_range()
         self.sizes: List[float] = DatasetSizeGenerator(num_sizes).generate(low, high)
 
@@ -142,6 +171,11 @@ class Collector:
         (``k = total / m`` configurations per size, Section 3.1).
         Distinct ``stream`` labels produce disjoint random configuration
         streams — the paper's train (2000) vs. test (500) sets.
+
+        Execution is batched per size through the engine, so a parallel
+        or caching backend accelerates the whole sampling loop; the CG's
+        random stream is drawn up front in the original order, keeping
+        the collected set identical across backends.
         """
         if total_examples < 1:
             raise ValueError("need at least one example")
@@ -152,14 +186,19 @@ class Collector:
             per_size[i] += 1
         done = 0
         for size, k in zip(self.sizes, per_size):
+            if k == 0:
+                continue
             job = self.workload.job(size)
-            for _ in range(k):
-                config = self.space.random(rng)
-                result = self.simulator.run(job, config)
+            requests = [
+                ExecRequest(job=job, config=self.space.random(rng))
+                for _ in range(k)
+            ]
+            runs = require_success(self.engine.submit(requests))
+            for request, run in zip(requests, runs):
                 vectors.append(
                     PerformanceVector(
-                        seconds=result.seconds,
-                        configuration=config,
+                        seconds=run.seconds,
+                        configuration=request.config,
                         datasize=size,
                         datasize_bytes=job.datasize_bytes,
                     )

@@ -26,6 +26,7 @@ from repro.common.rng import derive_rng
 from repro.common.space import Configuration, ConfigurationSpace
 from repro.core.collecting import Collector, TrainingSet
 from repro.core.ga import GaResult, GeneticAlgorithm
+from repro.engine import ExecutionBackend
 from repro.models.forest import RandomForest
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.confspace import SPARK_CONF_SPACE
@@ -56,6 +57,7 @@ class RfhocTuner:
         n_trees: int = 100,
         max_splits: int = 100,
         seed: int = 0,
+        engine: Optional[ExecutionBackend] = None,
     ):
         self.workload = workload
         self.cluster = cluster
@@ -64,7 +66,8 @@ class RfhocTuner:
         self.n_trees = n_trees
         self.max_splits = max_splits
         self.seed = seed
-        self.collector = Collector(workload, cluster, space, seed=seed)
+        self.collector = Collector(workload, cluster, space, seed=seed, engine=engine)
+        self.engine = self.collector.engine
         self.training_set: Optional[TrainingSet] = None
         self.model: Optional[RandomForest] = None
         self._modeling_seconds = 0.0

@@ -9,6 +9,10 @@ cluster time) and fitted models — reused across invocations.
   (the same format as the paper's R pipeline, via :mod:`repro.io`);
 * collections are *incremental*: asking for more examples tops up the
   cached set instead of re-collecting from scratch;
+* every substrate execution flows through one engine — a
+  :class:`~repro.engine.CachedBackend` whose on-disk store lives beside
+  the CSVs — so top-up collections, re-fits after a deleted CSV, and
+  any other caller keyed on the same triples reuse prior runs;
 * tuned configurations are exported as ``<program>-<size>-spark-dac.conf``
   files ready for ``spark-submit``.
 """
@@ -21,6 +25,7 @@ from typing import Dict, Optional, Union
 
 from repro.core.collecting import Collector, TrainingSet
 from repro.core.tuner import DacTuner, TuningReport
+from repro.engine import CachedBackend, ExecutionBackend, InProcessBackend
 from repro.io import load_training_set, save_spark_conf, save_training_set
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.confspace import SPARK_CONF_SPACE
@@ -49,6 +54,12 @@ class DacSession:
         Hardware all programs in this session run on.
     n_trees / learning_rate:
         HM parameters shared by every program's model.
+    backend:
+        Optional substrate backend (e.g. a
+        :class:`~repro.engine.ProcessPoolBackend` for parallel
+        collection).  It is always wrapped in a
+        :class:`~repro.engine.CachedBackend` persisting to
+        ``<directory>/engine-cache``.
     """
 
     def __init__(
@@ -58,6 +69,7 @@ class DacSession:
         n_trees: int = 300,
         learning_rate: float = 0.1,
         seed: int = 0,
+        backend: Optional[ExecutionBackend] = None,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -65,6 +77,8 @@ class DacSession:
         self.n_trees = n_trees
         self.learning_rate = learning_rate
         self.seed = seed
+        inner = backend if backend is not None else InProcessBackend(cluster)
+        self.engine = CachedBackend(inner, directory=self.directory / "engine-cache")
         self._tuners: Dict[str, DacTuner] = {}
         self._tuned: Dict[str, Dict[float, TuningReport]] = {}
 
@@ -89,7 +103,9 @@ class DacSession:
 
         have = len(cached) if cached is not None else 0
         if have < min_examples:
-            collector = Collector(workload, self.cluster, seed=self.seed)
+            collector = Collector(
+                workload, self.cluster, seed=self.seed, engine=self.engine
+            )
             top_up = collector.collect(
                 min_examples - have, stream=f"session-{have}"
             )
@@ -111,6 +127,7 @@ class DacSession:
                 n_trees=self.n_trees,
                 learning_rate=self.learning_rate,
                 seed=self.seed,
+                engine=self.engine,
             )
             tuner.fit(training)
             self._tuners[key] = tuner
@@ -142,6 +159,16 @@ class DacSession:
 
     def conf_path(self, program: str, datasize: float) -> Path:
         return self.directory / f"{program.upper()}-{datasize:g}-spark-dac.conf"
+
+    def close(self) -> None:
+        """Release the engine's resources (worker pools); idempotent."""
+        self.engine.close()
+
+    def __enter__(self) -> "DacSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def entries(self) -> Dict[str, SessionEntry]:

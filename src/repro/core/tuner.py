@@ -28,6 +28,7 @@ from repro.common.rng import derive_rng
 from repro.common.space import Configuration, ConfigurationSpace
 from repro.core.collecting import Collector, TrainingSet
 from repro.core.ga import GaResult, GeneticAlgorithm
+from repro.engine import EngineStats, ExecutionBackend
 from repro.models.hierarchical import HierarchicalModel
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.confspace import SPARK_CONF_SPACE
@@ -53,6 +54,9 @@ class TuningReport:
     collecting_simulated_hours: float
     modeling_wall_seconds: float
     searching_wall_seconds: float
+    #: Substrate accounting of the collecting phase (None when the
+    #: training set was supplied externally and nothing was executed).
+    engine_stats: Optional[EngineStats] = None
 
 
 class DacTuner:
@@ -69,6 +73,7 @@ class DacTuner:
         tree_complexity: int = 5,
         target_accuracy: float = 0.90,
         seed: int = 0,
+        engine: Optional[ExecutionBackend] = None,
     ):
         self.workload = workload
         self.cluster = cluster
@@ -80,7 +85,8 @@ class DacTuner:
         self.target_accuracy = target_accuracy
         self.seed = seed
 
-        self.collector = Collector(workload, cluster, space, seed=seed)
+        self.collector = Collector(workload, cluster, space, seed=seed, engine=engine)
+        self.engine = self.collector.engine
         self.training_set: Optional[TrainingSet] = None
         self.model: Optional[HierarchicalModel] = None
         self._collect_hours = 0.0
@@ -178,6 +184,7 @@ class DacTuner:
             collecting_simulated_hours=self._collect_hours,
             modeling_wall_seconds=self._modeling_seconds,
             searching_wall_seconds=search_seconds,
+            engine_stats=self.engine.stats if self.engine.stats.runs else None,
         )
 
     # ------------------------------------------------------------------

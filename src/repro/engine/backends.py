@@ -1,0 +1,274 @@
+"""Execution backends: where substrate runs actually happen.
+
+:class:`ExecutionBackend` is the one interface every caller in
+``repro.core``, ``repro.experiments`` and the CLI goes through; the
+simulator itself is an implementation detail behind it.  Two concrete
+backends ship:
+
+* :class:`InProcessBackend` — the seed repo's behaviour: one
+  :class:`SparkSimulator`, requests executed sequentially in the calling
+  process.
+* :class:`ProcessPoolBackend` — fan-out over CPU cores with
+  ``concurrent.futures.ProcessPoolExecutor``.  Results are *identical*
+  to in-process execution because the simulator seeds every stochastic
+  draw from the (program, datasize, configuration) triple
+  (:func:`repro.common.rng.stable_seed` is process-stable), so the
+  placement of a request on a worker cannot change its measurement.
+
+Failure policy (shared by both): a simulator exception retries with
+bounded exponential backoff; an exhausted request yields a typed
+:class:`FailedRun` in its batch slot instead of poisoning the batch.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.space import Configuration
+from repro.engine.request import (
+    ExecOutcome,
+    ExecRequest,
+    ExecResult,
+    FailedRun,
+    require_success,
+)
+from repro.engine.stats import EngineStats, StatsRecorder
+from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.sparksim.dag import JobSpec
+from repro.sparksim.simulator import RunResult, SparkSimulator
+
+#: Default failure policy: 3 attempts, 50 ms base backoff (doubling).
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BACKOFF_SECONDS = 0.05
+
+
+def _execute_with_retry(
+    simulator: SparkSimulator,
+    job: JobSpec,
+    config: Configuration,
+    max_attempts: int,
+    backoff_seconds: float,
+    backend: str,
+) -> ExecOutcome:
+    """Run one request under the bounded-backoff failure policy."""
+    start = time.perf_counter()
+    error: Optional[BaseException] = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            run = simulator.run(job, config)
+        except Exception as exc:  # noqa: BLE001 - the policy's whole point
+            error = exc
+            if attempt < max_attempts and backoff_seconds > 0:
+                time.sleep(backoff_seconds * (2 ** (attempt - 1)))
+            continue
+        return ExecResult(
+            run=run,
+            wall_seconds=time.perf_counter() - start,
+            attempts=attempt,
+            backend=backend,
+        )
+    return FailedRun(
+        program=job.program,
+        datasize_bytes=job.datasize_bytes,
+        error=f"{type(error).__name__}: {error}",
+        attempts=max_attempts,
+        backend=backend,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+class ExecutionBackend(abc.ABC):
+    """Batch execution of (program, configuration, datasize) requests.
+
+    The contract every implementation upholds:
+
+    * :meth:`submit` returns one outcome per request, in request order;
+    * outcomes for the same request are deterministic across backends
+      and processes (the simulator's seeding guarantees it);
+    * a failing request yields :class:`FailedRun` in its slot — the
+      batch itself never raises.
+    """
+
+    #: Short identifier stamped on every outcome this backend produces.
+    name: str = "backend"
+
+    def __init__(self) -> None:
+        self._recorder = StatsRecorder()
+
+    # -- the protocol ---------------------------------------------------
+    @abc.abstractmethod
+    def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
+        """Execute a batch; one outcome per request, order preserved."""
+
+    @abc.abstractmethod
+    def signature(self) -> str:
+        """Stable identity of the substrate (cluster + noise model).
+
+        Two backends with equal signatures produce equal measurements
+        for equal requests — the property cache keys rely on.
+        """
+
+    # -- conveniences ---------------------------------------------------
+    def run(self, job: JobSpec, config: Configuration) -> RunResult:
+        """Single-request sugar; raises :class:`ExecutionError` on failure."""
+        return require_success(self.submit([ExecRequest(job=job, config=config)]))[0]
+
+    @property
+    def stats(self) -> EngineStats:
+        """Snapshot of everything this backend has executed so far."""
+        return self._recorder.snapshot()
+
+    def close(self) -> None:
+        """Release any held resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessBackend(ExecutionBackend):
+    """Sequential execution in the calling process (seed behaviour)."""
+
+    name = "inprocess"
+
+    def __init__(
+        self,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        noise_sigma: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        simulator: Optional[SparkSimulator] = None,
+    ):
+        super().__init__()
+        self.cluster = cluster
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        if simulator is not None:
+            self._simulator = simulator
+        elif noise_sigma is not None:
+            self._simulator = SparkSimulator(cluster, noise_sigma)
+        else:
+            self._simulator = SparkSimulator(cluster)
+
+    def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
+        outcomes = [
+            _execute_with_retry(
+                self._simulator,
+                request.job,
+                request.config,
+                self.max_attempts,
+                self.backoff_seconds,
+                self.name,
+            )
+            for request in requests
+        ]
+        for outcome in outcomes:
+            self._recorder.record(outcome)
+        return outcomes
+
+    def signature(self) -> str:
+        return f"sparksim|{self.cluster!r}|sigma={self._simulator.noise_sigma!r}"
+
+
+# ----------------------------------------------------------------------
+# Process-pool workers.  Module-level so they survive pickling under any
+# multiprocessing start method; the simulator is built once per worker.
+# ----------------------------------------------------------------------
+_WORKER_SIMULATOR: Optional[SparkSimulator] = None
+
+
+def _init_worker(cluster: ClusterSpec, noise_sigma: Optional[float]) -> None:
+    global _WORKER_SIMULATOR
+    if noise_sigma is not None:
+        _WORKER_SIMULATOR = SparkSimulator(cluster, noise_sigma)
+    else:
+        _WORKER_SIMULATOR = SparkSimulator(cluster)
+
+
+def _run_in_worker(
+    payload: Tuple[JobSpec, Configuration, int, float],
+) -> ExecOutcome:
+    job, config, max_attempts, backoff_seconds = payload
+    assert _WORKER_SIMULATOR is not None, "worker initializer did not run"
+    return _execute_with_retry(
+        _WORKER_SIMULATOR,
+        job,
+        config,
+        max_attempts,
+        backoff_seconds,
+        ProcessPoolBackend.name,
+    )
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Chunked fan-out over a pool of worker processes.
+
+    Deterministic: every stochastic draw in the simulator is keyed by
+    the request triple, so results are byte-identical to
+    :class:`InProcessBackend` regardless of worker count, chunking, or
+    completion order (``Executor.map`` preserves request order).
+    """
+
+    name = "processpool"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        noise_sigma: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    ):
+        super().__init__()
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.cluster = cluster
+        self.noise_sigma = noise_sigma
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.cluster, self.noise_sigma),
+            )
+        return self._executor
+
+    def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
+        if not requests:
+            return []
+        payloads = [
+            (r.job, r.config, self.max_attempts, self.backoff_seconds)
+            for r in requests
+        ]
+        # ~4 chunks per worker balances scheduling slack against the
+        # per-chunk pickling of shared objects (space, job specs).
+        chunksize = max(1, math.ceil(len(payloads) / (self.jobs * 4)))
+        outcomes = list(self._pool().map(_run_in_worker, payloads, chunksize=chunksize))
+        for outcome in outcomes:
+            self._recorder.record(outcome)
+        return outcomes
+
+    def signature(self) -> str:
+        sigma = (
+            self.noise_sigma
+            if self.noise_sigma is not None
+            else SparkSimulator(self.cluster).noise_sigma
+        )
+        return f"sparksim|{self.cluster!r}|sigma={sigma!r}"
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

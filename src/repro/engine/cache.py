@@ -1,0 +1,162 @@
+"""Result caching: stop re-simulating identical triples.
+
+:class:`CachedBackend` decorates any :class:`ExecutionBackend` with an
+in-memory and (optionally) on-disk store keyed by the canonical hash of
+the request triple *and* the inner backend's substrate signature — the
+same cluster running the same program on the same datasize under the
+same configuration always reproduces the same measurement, so the
+first execution can answer every later identical request, across
+sessions, experiments and benchmarks.
+
+Keys hash the configuration's canonical *values* (not its [0,1]
+encoding, which clips out-of-range defaults) plus the job's full stage
+list, so distinct programs or distinct job compilations never alias.
+Failures are never cached: a :class:`FailedRun` is returned to the
+caller but the next identical request goes back to the substrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.backends import ExecutionBackend
+from repro.engine.request import ExecOutcome, ExecRequest, ExecResult
+from repro.engine.stats import EngineStats
+from repro.sparksim.simulator import RunResult
+
+
+def request_key(request: ExecRequest, substrate_signature: str) -> str:
+    """Canonical cache key of a (substrate, program, config, datasize) tuple."""
+    digest = hashlib.blake2b(digest_size=16)
+    parts = [
+        substrate_signature,
+        request.job.program,
+        repr(request.job.datasize_bytes),
+        repr(request.job.stages),
+    ]
+    config = request.config
+    for name in config.space.names:
+        parts.append(name)
+        parts.append(repr(config[name]))
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+class CachedBackend(ExecutionBackend):
+    """Memoizing decorator around another backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend that answers cache misses.
+    directory:
+        Optional on-disk store (one pickle per key).  Sharing a
+        directory across processes/sessions is safe: writes go through
+        a same-directory temp file + atomic rename, and unreadable
+        entries are treated as misses.
+    """
+
+    name = "cached"
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        directory: Optional[Union[str, Path]] = None,
+    ):
+        super().__init__()
+        self.inner = inner
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, RunResult] = {}
+        self._signature = inner.signature()
+
+    # -- protocol -------------------------------------------------------
+    def signature(self) -> str:
+        return self._signature
+
+    def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
+        outcomes: List[Optional[ExecOutcome]] = [None] * len(requests)
+        misses: List[Tuple[int, str, ExecRequest]] = []
+        for i, request in enumerate(requests):
+            key = request_key(request, self._signature)
+            run = self._lookup(key)
+            if run is not None:
+                outcomes[i] = ExecResult(
+                    run=run,
+                    wall_seconds=0.0,
+                    attempts=0,
+                    backend=self.name,
+                    cache_hit=True,
+                )
+            else:
+                misses.append((i, key, request))
+
+        if misses:
+            inner_outcomes = self.inner.submit([req for _, _, req in misses])
+            for (i, key, _), outcome in zip(misses, inner_outcomes):
+                if isinstance(outcome, ExecResult):
+                    self._store(key, outcome.run)
+                outcomes[i] = outcome
+                self._recorder.record_miss()
+
+        for outcome in outcomes:
+            assert outcome is not None
+            self._recorder.record(outcome)
+        return outcomes  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- introspection --------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        """Requests through this cache (hits + misses; inner wall times
+        show up via the recorded miss outcomes)."""
+        return self._recorder.snapshot()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the disk layer, if any, survives)."""
+        self._memory.clear()
+
+    # -- storage layers -------------------------------------------------
+    def _lookup(self, key: str) -> Optional[RunResult]:
+        run = self._memory.get(key)
+        if run is not None:
+            return run
+        if self.directory is None:
+            return None
+        path = self.directory / f"{key}.pkl"
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                run = pickle.load(handle)
+        except Exception:  # corrupt/partial entry: treat as a miss
+            return None
+        if not isinstance(run, RunResult):
+            return None
+        self._memory[key] = run
+        return run
+
+    def _store(self, key: str, run: RunResult) -> None:
+        self._memory[key] = run
+        if self.directory is None:
+            return
+        path = self.directory / f"{key}.pkl"
+        tmp = self.directory / f".{key}.{os.getpid()}.tmp"
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except OSError:  # read-only/full disk: memory layer still works
+            tmp.unlink(missing_ok=True)

@@ -17,10 +17,9 @@ import numpy as np
 
 from repro.common.rng import derive_rng
 from repro.core.ga import GeneticAlgorithm
-from repro.experiments.common import Scale, collected, geomean, render_table
+from repro.experiments.common import Scale, collected, execute_batch, geomean, render_table
 from repro.models.hierarchical import HierarchicalModel
 from repro.sparksim.confspace import SPARK_CONF_SPACE
-from repro.sparksim.simulator import SparkSimulator
 from repro.workloads import get_workload
 
 
@@ -75,7 +74,6 @@ def run(scale: Scale, program: str = "TS") -> AblationDatasizeResult:
     workload = get_workload(program)
     train = collected(program, scale.n_train, "train")
     test = collected(program, scale.n_test, "test")
-    simulator = SparkSimulator()
     space = SPARK_CONF_SPACE
 
     X = train.features()
@@ -123,8 +121,14 @@ def run(scale: Scale, program: str = "TS") -> AblationDatasizeResult:
             generations=scale.ga_generations,
             seed_vectors=seeds,
         )
-        aware_seconds[size] = simulator.run(job, aware_result.best_configuration).seconds
-        blind_seconds[size] = simulator.run(job, blind_result.best_configuration).seconds
+        aware_run, blind_run = execute_batch(
+            [
+                (job, aware_result.best_configuration),
+                (job, blind_result.best_configuration),
+            ]
+        )
+        aware_seconds[size] = aware_run.seconds
+        blind_seconds[size] = blind_run.seconds
 
     return AblationDatasizeResult(
         scale=scale.name,

@@ -17,10 +17,9 @@ import numpy as np
 
 from repro.common.rng import derive_rng
 from repro.core.search import STRATEGIES, make_strategy
-from repro.experiments.common import Scale, collected, render_table
+from repro.experiments.common import Scale, collected, execute, render_table
 from repro.models.hierarchical import HierarchicalModel
 from repro.sparksim.confspace import SPARK_CONF_SPACE
-from repro.sparksim.simulator import SparkSimulator
 from repro.workloads import get_workload
 
 
@@ -61,7 +60,6 @@ def run(
     datasize = datasize or workload.paper_sizes[-1]
     train = collected(program, scale.n_train, "train")
     space = SPARK_CONF_SPACE
-    simulator = SparkSimulator()
 
     model = HierarchicalModel(
         n_trees=scale.n_trees, learning_rate=scale.learning_rate,
@@ -88,7 +86,7 @@ def run(
         )
         predicted[name] = result.best_fitness
         evaluations[name] = result.evaluations_used
-        measured[name] = simulator.run(job, result.best_configuration).seconds
+        measured[name] = execute(job, result.best_configuration).seconds
 
     return AblationSearchResult(
         scale=scale.name,

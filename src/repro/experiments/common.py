@@ -1,15 +1,33 @@
-"""Shared experiment infrastructure: scales, caches, table rendering."""
+"""Shared experiment infrastructure: scales, engine, caches, rendering.
+
+Every substrate execution any experiment performs — collection sweeps
+and one-off measurements alike — goes through one process-wide
+:class:`~repro.engine.CachedBackend`, so figures that re-measure the
+same (program, configuration, size) triples (e.g. Figure 12 after
+Figure 13) reuse each other's runs, and the CLI can swap the inner
+backend for a :class:`~repro.engine.ProcessPoolBackend`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.space import Configuration
 from repro.core.collecting import Collector, TrainingSet
+from repro.engine import (
+    CachedBackend,
+    ExecRequest,
+    ExecutionBackend,
+    InProcessBackend,
+    require_success,
+)
 from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.sparksim.dag import JobSpec
+from repro.sparksim.simulator import RunResult
 from repro.workloads import get_workload
 from repro.workloads.registry import workload_names
 
@@ -61,13 +79,55 @@ PAPER = Scale(
 
 
 # ----------------------------------------------------------------------
+# The experiments' shared execution engine.
+# ----------------------------------------------------------------------
+_ENGINE: Optional[CachedBackend] = None
+
+
+def shared_engine() -> CachedBackend:
+    """The process-wide engine all experiment executions flow through."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = CachedBackend(InProcessBackend())
+    return _ENGINE
+
+
+def configure_shared_engine(backend: Optional[ExecutionBackend]) -> CachedBackend:
+    """Replace the shared engine's substrate (``None`` resets to default).
+
+    The replacement is wrapped in a fresh :class:`CachedBackend`; the
+    previous engine (and any worker pool it held) is closed.
+    """
+    global _ENGINE
+    if _ENGINE is not None:
+        _ENGINE.close()
+    _ENGINE = CachedBackend(backend) if backend is not None else None
+    return shared_engine()
+
+
+def execute_batch(
+    pairs: Sequence[Tuple[JobSpec, Configuration]],
+) -> List[RunResult]:
+    """Measure a batch of (job, configuration) pairs on the shared engine."""
+    requests = [ExecRequest(job=job, config=config) for job, config in pairs]
+    return require_success(shared_engine().submit(requests))
+
+
+def execute(job: JobSpec, config: Configuration) -> RunResult:
+    """Measure one configuration — the experiments' substrate entry point."""
+    return execute_batch([(job, config)])[0]
+
+
+# ----------------------------------------------------------------------
 # Collected-data cache: experiments share training/testing sets.
 # ----------------------------------------------------------------------
 @lru_cache(maxsize=64)
 def collected(abbr: str, n: int, stream: str, seed: int = 0) -> TrainingSet:
     """Collect (and memoize) ``n`` performance vectors for a program."""
     workload = get_workload(abbr)
-    return Collector(workload, seed=seed).collect(n, stream=stream)
+    return Collector(workload, seed=seed, engine=shared_engine()).collect(
+        n, stream=stream
+    )
 
 
 def test_matrix(train: TrainingSet, test: TrainingSet) -> Tuple[np.ndarray, np.ndarray]:

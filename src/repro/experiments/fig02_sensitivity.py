@@ -19,11 +19,10 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.common.rng import derive_rng
-from repro.experiments.common import Scale, render_table
+from repro.experiments.common import Scale, execute_batch, render_table
 from repro.odc import OdcSimulator
 from repro.odc.confspace import hadoop_configuration_space
 from repro.sparksim.confspace import spark_configuration_space
-from repro.sparksim.simulator import SparkSimulator
 from repro.workloads import get_workload
 
 #: (program, input-1, input-2) in natural units, per Section 2.2.1.
@@ -75,7 +74,6 @@ class Fig2Result:
 def run(scale: Scale) -> Fig2Result:
     spark_space = spark_configuration_space()
     hadoop_space = hadoop_configuration_space()
-    spark_sim = SparkSimulator()
     odc_sim = OdcSimulator()
     n = scale.fig2_configs
 
@@ -86,16 +84,19 @@ def run(scale: Scale) -> Fig2Result:
         for framework in ("Spark", "Hadoop"):
             per_size = []
             for size in sizes:
-                times = []
-                for _ in range(n):
-                    if framework == "Spark":
-                        config = spark_space.random(rng)
-                        times.append(spark_sim.run(workload.job(size), config).seconds)
-                    else:
-                        config = hadoop_space.random(rng)
-                        times.append(
-                            odc_sim.run(program, workload.bytes_for(size), config).seconds
-                        )
+                if framework == "Spark":
+                    job = workload.job(size)
+                    runs = execute_batch(
+                        [(job, spark_space.random(rng)) for _ in range(n)]
+                    )
+                    times = [r.seconds for r in runs]
+                else:
+                    times = [
+                        odc_sim.run(
+                            program, workload.bytes_for(size), hadoop_space.random(rng)
+                        ).seconds
+                        for _ in range(n)
+                    ]
                 per_size.append(tvar(np.array(times)))
             tvars[(framework, program)] = (per_size[0], per_size[1])
     return Fig2Result(scale=scale.name, n_configs=n, tvars=tvars)

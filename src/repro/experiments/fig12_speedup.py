@@ -17,9 +17,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.experiments.common import Scale, geomean, render_table
+from repro.experiments.common import Scale, execute_batch, geomean, render_table
 from repro.experiments.tuning_runs import tune_program
-from repro.sparksim.simulator import SparkSimulator
 from repro.workloads import get_workload
 
 
@@ -96,23 +95,28 @@ class Fig12Result:
 
 
 def run(scale: Scale) -> Fig12Result:
-    simulator = SparkSimulator()
     cells: List[SpeedupCell] = []
     for program in scale.programs:
         workload = get_workload(program)
         tuning = tune_program(program, scale)
         for size in workload.paper_sizes:
             job = workload.job(size)
+            dac, default, rfhoc, expert = execute_batch(
+                [
+                    (job, tuning.dac_config(size)),
+                    (job, tuning.default),
+                    (job, tuning.rfhoc_report.configuration),
+                    (job, tuning.expert),
+                ]
+            )
             cells.append(
                 SpeedupCell(
                     program=program,
                     size=size,
-                    dac_seconds=simulator.run(job, tuning.dac_config(size)).seconds,
-                    default_seconds=simulator.run(job, tuning.default).seconds,
-                    rfhoc_seconds=simulator.run(
-                        job, tuning.rfhoc_report.configuration
-                    ).seconds,
-                    expert_seconds=simulator.run(job, tuning.expert).seconds,
+                    dac_seconds=dac.seconds,
+                    default_seconds=default.seconds,
+                    rfhoc_seconds=rfhoc.seconds,
+                    expert_seconds=expert.seconds,
                 )
             )
     return Fig12Result(scale=scale.name, cells=tuple(cells))

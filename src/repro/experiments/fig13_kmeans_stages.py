@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import Scale, render_table
+from repro.experiments.common import Scale, execute_batch, render_table
 from repro.experiments.tuning_runs import tune_program
-from repro.sparksim.simulator import RunResult, SparkSimulator
+from repro.sparksim.simulator import RunResult
 from repro.workloads import get_workload
 
 PROGRAM = "KM"
@@ -63,7 +63,6 @@ class Fig13Result:
 def run(scale: Scale) -> Fig13Result:
     workload = get_workload(PROGRAM)
     tuning = tune_program(PROGRAM, scale)
-    simulator = SparkSimulator()
     sizes = workload.paper_sizes
     stage_names = tuple(s.name for s in workload.job(sizes[0]).stages)
 
@@ -71,11 +70,14 @@ def run(scale: Scale) -> Fig13Result:
     gc_seconds: Dict[Tuple[str, float], float] = {}
     for size in sizes:
         job = workload.job(size)
-        runs: Dict[str, RunResult] = {
-            "default": simulator.run(job, tuning.default),
-            "RFHOC": simulator.run(job, tuning.rfhoc_report.configuration),
-            "DAC": simulator.run(job, tuning.dac_config(size)),
-        }
+        default, rfhoc, dac = execute_batch(
+            [
+                (job, tuning.default),
+                (job, tuning.rfhoc_report.configuration),
+                (job, tuning.dac_config(size)),
+            ]
+        )
+        runs: Dict[str, RunResult] = {"default": default, "RFHOC": rfhoc, "DAC": dac}
         for kind, result in runs.items():
             stage_seconds[(kind, size)] = {
                 s.name: s.seconds for s in result.stages

@@ -12,9 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.experiments.common import Scale, render_table
+from repro.experiments.common import Scale, execute_batch, render_table
 from repro.experiments.tuning_runs import tune_program
-from repro.sparksim.simulator import SparkSimulator
 from repro.workloads import get_workload
 
 PROGRAM = "TS"
@@ -65,7 +64,6 @@ class Fig14Result:
 def run(scale: Scale) -> Fig14Result:
     workload = get_workload(PROGRAM)
     tuning = tune_program(PROGRAM, scale)
-    simulator = SparkSimulator()
     sizes = workload.paper_sizes
 
     stage2: Dict[Tuple[str, float], float] = {}
@@ -73,11 +71,14 @@ def run(scale: Scale) -> Fig14Result:
     s1_frac: Dict[Tuple[str, float], float] = {}
     for size in sizes:
         job = workload.job(size)
-        runs = {
-            "default": simulator.run(job, tuning.default),
-            "RFHOC": simulator.run(job, tuning.rfhoc_report.configuration),
-            "DAC": simulator.run(job, tuning.dac_config(size)),
-        }
+        default, rfhoc, dac = execute_batch(
+            [
+                (job, tuning.default),
+                (job, tuning.rfhoc_report.configuration),
+                (job, tuning.dac_config(size)),
+            ]
+        )
+        runs = {"default": default, "RFHOC": rfhoc, "DAC": dac}
         for kind, result in runs.items():
             stage2[(kind, size)] = result.stage(STAGE2).seconds
             gc[(kind, size)] = result.gc_seconds

@@ -17,7 +17,7 @@ from repro.core.baselines import default_configuration
 from repro.core.expert import ExpertTuner
 from repro.core.rfhoc import RfhocReport, RfhocTuner
 from repro.core.tuner import DacTuner, TuningReport
-from repro.experiments.common import Scale, collected
+from repro.experiments.common import Scale, collected, shared_engine
 from repro.sparksim.cluster import PAPER_CLUSTER
 from repro.workloads import get_workload
 
@@ -50,6 +50,7 @@ def tune_program(program: str, scale: Scale) -> ProgramTuning:
         n_trees=scale.n_trees,
         learning_rate=scale.learning_rate,
         tree_complexity=scale.tree_complexity,
+        engine=shared_engine(),
     )
     dac.fit(training)
     dac._collect_hours = dac.collector.simulated_hours(training)
@@ -63,7 +64,7 @@ def tune_program(program: str, scale: Scale) -> ProgramTuning:
         for size in workload.paper_sizes
     }
 
-    rfhoc = RfhocTuner(workload, n_train=scale.n_train)
+    rfhoc = RfhocTuner(workload, n_train=scale.n_train, engine=shared_engine())
     rfhoc.fit(training)
     rfhoc_report = rfhoc.tune(
         generations=scale.ga_generations, population_size=scale.ga_population
