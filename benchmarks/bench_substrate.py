@@ -9,14 +9,22 @@ a real execution costs minutes.
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.common.rng import derive_rng
 from repro.core.collecting import Collector
 from repro.core.ga import GeneticAlgorithm
-from repro.engine import InProcessBackend, ProcessPoolBackend
+from repro.engine import (
+    CachedBackend,
+    ExecRequest,
+    InProcessBackend,
+    ProcessPoolBackend,
+)
 from repro.models import GradientBoostedTrees, RandomForest
 from repro.sparksim.confspace import SPARK_CONF_SPACE
 from repro.sparksim.simulator import SparkSimulator
 from repro.workloads import get_workload
+
+from conftest import report
 
 
 def test_simulator_single_run(benchmark):
@@ -102,6 +110,41 @@ def test_collect_200_processpool_jobs4(benchmark, once, _pool4):
         return collector.collect(200)
 
     assert len(benchmark.pedantic(collect, **once)) == 200
+
+
+def test_engine_queue_wait_and_cache_latency(benchmark, once):
+    """Engine observability: queue-wait and cache-lookup latency metrics.
+
+    Submits a 64-request batch through a bare in-process engine (whose
+    sequential queue wait is the time spent on the requests ahead), then
+    the same batch twice through a cached engine — first pass misses,
+    second hits — under a live metrics registry, and prints the latency
+    distributions (``engine.queue_wait_seconds``,
+    ``engine.cache.lookup_seconds``, ``engine.wall_seconds``) the
+    telemetry subsystem collected.
+    """
+    job = get_workload("TS").job(30.0)
+    rng = derive_rng("bench-engine-tele")
+    requests = [
+        ExecRequest(job=job, config=SPARK_CONF_SPACE.random(rng))
+        for _ in range(64)
+    ]
+
+    def run_batches():
+        with telemetry.session():
+            with InProcessBackend() as engine:
+                engine.submit(requests)
+            with CachedBackend(InProcessBackend()) as cached:
+                cached.submit(requests)
+                cached.submit(requests)
+            return telemetry.get_registry().snapshot()
+
+    snapshot = benchmark.pedantic(run_batches, **once)
+    assert snapshot.counters["engine.cache.hits"] == 64
+    assert snapshot.counters["engine.cache.misses"] == 64
+    assert snapshot.histograms["engine.queue_wait_seconds"].count == 64
+    assert snapshot.histograms["engine.cache.lookup_seconds{result=hit}"].count == 64
+    report(snapshot.render())
 
 
 def test_ga_generation_throughput(benchmark):

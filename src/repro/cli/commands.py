@@ -1,10 +1,22 @@
-"""Implementations of the CLI commands."""
+"""Implementations of the CLI commands.
+
+All human-facing output flows through the structured logger of
+:mod:`repro.telemetry.log` (message-only formatting on stdout), so the
+``--verbose``/``--quiet`` flags control every line and library code
+never prints directly.  The ``--telemetry DIR``/``--trace`` flags wrap
+a command in a telemetry session writing the JSONL event log, a metrics
+snapshot, and optionally a Chrome trace under ``DIR``.
+"""
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional
 
+from repro import telemetry
 from repro.common.units import fmt_bytes, fmt_duration
 from repro.core.baselines import default_configuration
 from repro.core.collecting import Collector
@@ -25,10 +37,16 @@ from repro.io import (
     save_training_set,
 )
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
+from repro.telemetry.log import get_logger
 from repro.workloads import ALL_WORKLOADS, get_workload
+
+log = get_logger("repro.cli")
 
 #: Names accepted by ``--backend``.
 BACKENDS = ("inprocess", "processpool")
+
+#: Default output directory when ``--trace`` is given without ``--telemetry``.
+DEFAULT_TELEMETRY_DIR = "telemetry"
 
 
 def build_backend(
@@ -39,6 +57,38 @@ def build_backend(
     if name == "processpool":
         return ProcessPoolBackend(jobs=getattr(args, "jobs", None), cluster=cluster)
     return InProcessBackend(cluster)
+
+
+@contextmanager
+def telemetry_session(args: argparse.Namespace) -> Iterator[Optional[telemetry.Telemetry]]:
+    """Run a command under ``--telemetry``/``--trace``, if requested.
+
+    On exit the session's artifacts land in the output directory:
+    ``events.jsonl`` (the JSONL event log), ``metrics.json`` (the final
+    registry snapshot), and ``trace.json`` (Chrome/Perfetto) when
+    ``--trace`` was given.
+    """
+    directory = getattr(args, "telemetry", None)
+    want_trace = getattr(args, "trace", False)
+    if directory is None and not want_trace:
+        yield None
+        return
+    out = Path(directory if directory is not None else DEFAULT_TELEMETRY_DIR)
+    session = telemetry.enable(directory=out)
+    try:
+        yield session
+    finally:
+        snapshot = telemetry.get_registry().snapshot()
+        telemetry.disable()
+        (out / "metrics.json").write_text(
+            json.dumps(snapshot.as_dict(), indent=2, sort_keys=True)
+        )
+        written = [f"{out}/events.jsonl", f"{out}/metrics.json"]
+        if want_trace:
+            telemetry.write_chrome_trace(session.records, out / "trace.json")
+            written.append(f"{out}/trace.json")
+        log.info("telemetry: wrote %s", ", ".join(written))
+
 
 #: Experiment registry: name -> (module, render callable).
 def _experiment_registry() -> Dict[str, Callable]:
@@ -81,109 +131,132 @@ EXPERIMENTS = tuple(_experiment_registry())
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    workload = get_workload(args.program)
-    print(f"Tuning {workload.name} for size {args.size} {workload.unit} ...")
-    engine = build_backend(args)
-    tuner = DacTuner(
-        workload,
-        n_train=args.train,
-        n_trees=args.trees,
-        learning_rate=args.learning_rate,
-        seed=args.seed,
-        engine=engine,
-    )
-    tuner.collect()
-    tuner.fit()
-    print(f"  model holdout error: {tuner.model.holdout_error_ * 100:.1f}%")
-    report = tuner.tune(args.size, generations=args.generations)
-    print(f"  GA converged at generation {report.ga.converged_at}")
-    print(f"  predicted time: {fmt_duration(report.predicted_seconds)}")
+    with telemetry_session(args):
+        workload = get_workload(args.program)
+        log.info(
+            "Tuning %s for size %s %s ...", workload.name, args.size, workload.unit
+        )
+        engine = build_backend(args)
+        tuner = DacTuner(
+            workload,
+            n_train=args.train,
+            n_trees=args.trees,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+            engine=engine,
+        )
+        tuner.collect()
+        tuner.fit()
+        log.info(
+            "  model holdout error: %.1f%%", tuner.model.holdout_error_ * 100
+        )
+        report = tuner.tune(args.size, generations=args.generations)
+        log.info("  GA converged at generation %d", report.ga.converged_at)
+        log.info("  predicted time: %s", fmt_duration(report.predicted_seconds))
 
-    job = workload.job(args.size)
-    tuned, default = (
-        run.seconds
-        for run in require_success(
-            engine.submit(
-                [
-                    ExecRequest(job=job, config=report.configuration),
-                    ExecRequest(job=job, config=default_configuration()),
-                ]
+        job = workload.job(args.size)
+        tuned, default = (
+            run.seconds
+            for run in require_success(
+                engine.submit(
+                    [
+                        ExecRequest(job=job, config=report.configuration),
+                        ExecRequest(job=job, config=default_configuration()),
+                    ]
+                )
             )
         )
-    )
-    print(f"  measured: DAC {fmt_duration(tuned)} vs default "
-          f"{fmt_duration(default)} ({default / tuned:.1f}x)")
-    print(f"  {engine.stats.summary()}")
-    engine.close()
-
-    if args.output:
-        save_spark_conf(
-            report.configuration,
-            args.output,
-            comment=f"{workload.name} @ {args.size} {workload.unit}, "
-            f"predicted {report.predicted_seconds:.0f}s",
+        log.info(
+            "  measured: DAC %s vs default %s (%.1fx)",
+            fmt_duration(tuned), fmt_duration(default), default / tuned,
         )
-        print(f"  wrote {args.output}")
-    if args.spark_submit:
-        print("\n" + format_spark_submit(report.configuration))
+        log.info("  %s", engine.stats.summary())
+        engine.close()
+
+        if args.output:
+            save_spark_conf(
+                report.configuration,
+                args.output,
+                comment=f"{workload.name} @ {args.size} {workload.unit}, "
+                f"predicted {report.predicted_seconds:.0f}s",
+            )
+            log.info("  wrote %s", args.output)
+        if args.spark_submit:
+            log.info("\n%s", format_spark_submit(report.configuration))
     return 0
 
 
 def cmd_collect(args: argparse.Namespace) -> int:
-    workload = get_workload(args.program)
-    engine = build_backend(args)
-    collector = Collector(workload, seed=args.seed, engine=engine)
-    print(f"Collecting {args.examples} performance vectors for "
-          f"{workload.name} over {len(collector.sizes)} input sizes ...")
-    training = collector.collect(args.examples)
-    save_training_set(training, args.output)
-    hours = collector.simulated_hours(training)
-    print(f"  wrote {args.output} ({len(training)} rows, "
-          f"{hours:.1f} simulated cluster-hours)")
-    print(f"  {engine.stats.summary()}")
-    engine.close()
+    with telemetry_session(args):
+        workload = get_workload(args.program)
+        engine = build_backend(args)
+        collector = Collector(workload, seed=args.seed, engine=engine)
+        log.info(
+            "Collecting %d performance vectors for %s over %d input sizes ...",
+            args.examples, workload.name, len(collector.sizes),
+        )
+        training = collector.collect(args.examples)
+        save_training_set(training, args.output)
+        hours = collector.simulated_hours(training)
+        log.info(
+            "  wrote %s (%d rows, %.1f simulated cluster-hours)",
+            args.output, len(training), hours,
+        )
+        log.info("  %s", engine.stats.summary())
+        engine.close()
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    workload = get_workload(args.program)
-    if args.conf and args.expert:
-        raise ValueError("--conf and --expert are mutually exclusive")
-    if args.conf:
-        config = load_spark_conf(args.conf)
-        source = args.conf
-    elif args.expert:
-        config = ExpertTuner(PAPER_CLUSTER).tune()
-        source = "expert rules"
-    else:
-        config = default_configuration()
-        source = "Table-2 defaults"
+    with telemetry_session(args):
+        workload = get_workload(args.program)
+        if args.conf and args.expert:
+            raise ValueError("--conf and --expert are mutually exclusive")
+        if args.conf:
+            config = load_spark_conf(args.conf)
+            source = args.conf
+        elif args.expert:
+            config = ExpertTuner(PAPER_CLUSTER).tune()
+            source = "expert rules"
+        else:
+            config = default_configuration()
+            source = "Table-2 defaults"
 
-    job = workload.job(args.size)
-    with build_backend(args) as engine:
-        outcome = engine.submit([ExecRequest(job=job, config=config)])[0]
-    if isinstance(outcome, FailedRun):
-        print(f"error: execution failed after {outcome.attempts} attempts: "
-              f"{outcome.error}")
-        return 1
-    result = outcome.run
-    print(f"{workload.name} @ {args.size} {workload.unit} "
-          f"({fmt_bytes(job.datasize_bytes)}) under {source}:")
-    print(f"  total: {fmt_duration(result.seconds)}  "
-          f"(GC {fmt_duration(result.gc_seconds)}, "
-          f"spill {fmt_bytes(result.spill_bytes)})")
-    if args.stages:
-        for stage in result.stages:
-            print(
-                f"  {stage.name:24s} {fmt_duration(stage.seconds):>10} "
-                f"x{stage.iterations:<3d} tasks={stage.num_tasks:<5d} "
-                f"gc={fmt_duration(stage.gc_seconds)}"
+        job = workload.job(args.size)
+        with build_backend(args) as engine:
+            outcome = engine.submit([ExecRequest(job=job, config=config)])[0]
+        if isinstance(outcome, FailedRun):
+            log.error(
+                "error: execution failed after %d attempts: %s",
+                outcome.attempts, outcome.error,
             )
-    if getattr(args, "report", False):
-        from repro.sparksim.report import render_run_report
+            return 1
+        result = outcome.run
+        log.info(
+            "%s @ %s %s (%s) under %s:",
+            workload.name, args.size, workload.unit,
+            fmt_bytes(job.datasize_bytes), source,
+        )
+        log.info(
+            "  total: %s  (GC %s, spill %s)",
+            fmt_duration(result.seconds),
+            fmt_duration(result.gc_seconds),
+            fmt_bytes(result.spill_bytes),
+        )
+        if args.stages:
+            for stage in result.stages:
+                log.info(
+                    "  %-24s %10s x%-3d tasks=%-5d gc=%s",
+                    stage.name,
+                    fmt_duration(stage.seconds),
+                    stage.iterations,
+                    stage.num_tasks,
+                    fmt_duration(stage.gc_seconds),
+                )
+        if getattr(args, "report", False):
+            from repro.sparksim.report import render_run_report
 
-        print()
-        print(render_run_report(result))
+            log.info("\n%s", render_run_report(result))
     return 0
 
 
@@ -195,18 +268,37 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         shared_engine,
     )
 
-    scale = PAPER if args.scale == "paper" else FAST
-    if getattr(args, "backend", "inprocess") != "inprocess":
-        configure_shared_engine(build_backend(args))
-    registry = _experiment_registry()
-    print(registry[args.name](scale))
-    print(shared_engine().stats.summary())
+    with telemetry_session(args):
+        scale = PAPER if args.scale == "paper" else FAST
+        if getattr(args, "backend", "inprocess") != "inprocess":
+            configure_shared_engine(build_backend(args))
+        registry = _experiment_registry()
+        with telemetry.span("experiment", experiment=args.name, scale=scale.name):
+            rendered = registry[args.name](scale)
+        log.info("%s", rendered)
+        log.info("%s", shared_engine().stats.summary())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sparksim.events import stage_table_from_records
+
+    event_log = telemetry.read_event_log(args.eventlog)
+    log.info("%s", telemetry.render_trace_report(event_log, limit=args.limit))
+    stage_table = stage_table_from_records(event_log.records)
+    if stage_table:
+        log.info("\nstages:\n%s", stage_table)
+    if args.chrome:
+        path = telemetry.write_chrome_trace(event_log.records, args.chrome)
+        log.info("\nwrote Chrome trace %s (open in chrome://tracing or Perfetto)", path)
     return 0
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
-    print(f"{'abbr':5s} {'name':10s} {'unit':15s} Table-1 sizes")
+    log.info("%-5s %-10s %-15s Table-1 sizes", "abbr", "name", "unit")
     for workload in ALL_WORKLOADS.values():
         sizes = ", ".join(f"{s:g}" for s in workload.paper_sizes)
-        print(f"{workload.abbr:5s} {workload.name:10s} {workload.unit:15s} {sizes}")
+        log.info(
+            "%-5s %-10s %-15s %s", workload.abbr, workload.name, workload.unit, sizes
+        )
     return 0

@@ -7,6 +7,7 @@ import sys
 from typing import List, Optional
 
 from repro.cli import commands
+from repro.telemetry.log import configure_logging
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -26,6 +27,37 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """``--telemetry/--trace``: record an event log for this command."""
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record a JSONL event log and metrics snapshot under DIR",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also export a Chrome/Perfetto trace.json "
+        f"(implies --telemetry {commands.DEFAULT_TELEMETRY_DIR})",
+    )
+
+
+def _verbosity_parent() -> argparse.ArgumentParser:
+    """``-v/-q`` flags shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="debug-level logging",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress informational output (warnings and errors only)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -35,10 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    verbosity = _verbosity_parent()
 
     # -- tune -----------------------------------------------------------
     tune = sub.add_parser(
-        "tune", help="run the full DAC pipeline for one program and input size"
+        "tune",
+        help="run the full DAC pipeline for one program and input size",
+        parents=[verbosity],
     )
     tune.add_argument("program", help="workload abbreviation or name, e.g. TS")
     tune.add_argument("--size", type=float, required=True,
@@ -57,11 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--spark-submit", action="store_true",
                       help="print the equivalent spark-submit command")
     _add_engine_flags(tune)
+    _add_telemetry_flags(tune)
     tune.set_defaults(handler=commands.cmd_tune)
 
     # -- collect ----------------------------------------------------------
     collect = sub.add_parser(
-        "collect", help="run only the collecting component, write a CSV training set"
+        "collect",
+        help="run only the collecting component, write a CSV training set",
+        parents=[verbosity],
     )
     collect.add_argument("program")
     collect.add_argument("--examples", type=int, default=600)
@@ -69,11 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--output", metavar="PATH", required=True,
                          help="CSV file to write (the paper's matrix S)")
     _add_engine_flags(collect)
+    _add_telemetry_flags(collect)
     collect.set_defaults(handler=commands.cmd_collect)
 
     # -- run --------------------------------------------------------------
     run = sub.add_parser(
-        "run", help="execute one program on the simulator under a configuration"
+        "run",
+        help="execute one program on the simulator under a configuration",
+        parents=[verbosity],
     )
     run.add_argument("program")
     run.add_argument("--size", type=float, required=True)
@@ -86,11 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report", action="store_true",
                      help="print the full run report with bottleneck diagnosis")
     _add_engine_flags(run)
+    _add_telemetry_flags(run)
     run.set_defaults(handler=commands.cmd_run)
 
     # -- experiment ---------------------------------------------------------
     experiment = sub.add_parser(
-        "experiment", help="regenerate one of the paper's figures/tables"
+        "experiment",
+        help="regenerate one of the paper's figures/tables",
+        parents=[verbosity],
     )
     experiment.add_argument(
         "name",
@@ -99,10 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", choices=("fast", "paper"), default="fast")
     _add_engine_flags(experiment)
+    _add_telemetry_flags(experiment)
     experiment.set_defaults(handler=commands.cmd_experiment)
 
+    # -- trace ---------------------------------------------------------------
+    trace = sub.add_parser(
+        "trace",
+        help="render a recorded telemetry event log as a timeline + summary",
+        parents=[verbosity],
+    )
+    trace.add_argument("eventlog", help="events.jsonl written by --telemetry")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="also export a Chrome/Perfetto trace JSON")
+    trace.add_argument("--limit", type=int, default=40,
+                       help="maximum timeline rows (default: 40)")
+    trace.set_defaults(handler=commands.cmd_trace)
+
     # -- workloads -----------------------------------------------------------
-    workloads = sub.add_parser("workloads", help="list the Table-1 programs")
+    workloads = sub.add_parser(
+        "workloads", help="list the Table-1 programs", parents=[verbosity]
+    )
     workloads.set_defaults(handler=commands.cmd_workloads)
 
     return parser
@@ -111,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False)
+    )
     try:
         return args.handler(args)
     except (KeyError, ValueError, FileNotFoundError) as exc:

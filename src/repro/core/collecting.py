@@ -26,6 +26,7 @@ from repro.common.space import Configuration, ConfigurationSpace
 from repro.engine import ExecRequest, ExecutionBackend, InProcessBackend, require_success
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.telemetry import events as tele
 from repro.workloads.base import Workload
 from repro.workloads.datagen import DatasetSizeGenerator
 
@@ -185,27 +186,41 @@ class Collector:
         for i in range(total_examples % self.num_sizes):
             per_size[i] += 1
         done = 0
-        for size, k in zip(self.sizes, per_size):
-            if k == 0:
-                continue
-            job = self.workload.job(size)
-            requests = [
-                ExecRequest(job=job, config=self.space.random(rng))
-                for _ in range(k)
-            ]
-            runs = require_success(self.engine.submit(requests))
-            for request, run in zip(requests, runs):
-                vectors.append(
-                    PerformanceVector(
-                        seconds=run.seconds,
-                        configuration=request.config,
-                        datasize=size,
-                        datasize_bytes=job.datasize_bytes,
+        with tele.span(
+            "collect",
+            program=self.workload.abbr,
+            examples=total_examples,
+            stream=stream,
+        ):
+            for size, k in zip(self.sizes, per_size):
+                if k == 0:
+                    continue
+                job = self.workload.job(size)
+                requests = [
+                    ExecRequest(job=job, config=self.space.random(rng))
+                    for _ in range(k)
+                ]
+                runs = require_success(self.engine.submit(requests))
+                for request, run in zip(requests, runs):
+                    vectors.append(
+                        PerformanceVector(
+                            seconds=run.seconds,
+                            configuration=request.config,
+                            datasize=size,
+                            datasize_bytes=job.datasize_bytes,
+                        )
                     )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total_examples)
+                tele.event(
+                    "collect.size",
+                    program=self.workload.abbr,
+                    size=size,
+                    examples=k,
+                    done=done,
+                    total=total_examples,
                 )
-                done += 1
-                if progress is not None:
-                    progress(done, total_examples)
         return TrainingSet(self.space, vectors)
 
     def simulated_hours(self, training_set: TrainingSet) -> float:

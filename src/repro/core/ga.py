@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.space import Configuration, ConfigurationSpace
+from repro.telemetry import events as tele
 
 #: Paper-stated per-gene mutation rate (Figure 6: "Mutate (rate:0.01)").
 DEFAULT_MUTATION_RATE = 0.01
@@ -119,6 +120,17 @@ class GeneticAlgorithm:
         best_vec = pop[int(np.argmin(scores))].copy()
         best_fit = float(scores.min())
         stale = 0
+        if tele.enabled():
+            tele.event(
+                "ga.generation",
+                generation=0,
+                best=best_fit,
+                generation_best=history[0],
+                mean=float(scores.mean()),
+                mutated_genes=0,
+                crossovers=0,
+                stale=0,
+            )
 
         for _ in range(generations):
             order = np.argsort(scores)
@@ -148,6 +160,17 @@ class GeneticAlgorithm:
             else:
                 stale += 1
             history.append(best_fit)
+            if tele.enabled():
+                tele.event(
+                    "ga.generation",
+                    generation=len(history) - 1,
+                    best=best_fit,
+                    generation_best=gen_best,
+                    mean=float(scores.mean()),
+                    mutated_genes=int(mutate.sum()),
+                    crossovers=int(do_cross.sum()),
+                    stale=stale,
+                )
             if patience is not None and stale >= patience:
                 break
 

@@ -32,6 +32,8 @@ from repro.engine import EngineStats, ExecutionBackend
 from repro.models.hierarchical import HierarchicalModel
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.confspace import SPARK_CONF_SPACE
+from repro.telemetry import events as tele
+from repro.telemetry.metrics import MetricsSnapshot, get_registry
 from repro.workloads.base import Workload
 
 #: Section 5.1/5.2's chosen model parameters: ntrain=2000, tc=5,
@@ -57,6 +59,9 @@ class TuningReport:
     #: Substrate accounting of the collecting phase (None when the
     #: training set was supplied externally and nothing was executed).
     engine_stats: Optional[EngineStats] = None
+    #: Snapshot of the global metrics registry at report time (None
+    #: when telemetry was off for the run).
+    metrics: Optional[MetricsSnapshot] = None
 
 
 class DacTuner:
@@ -121,14 +126,21 @@ class DacTuner:
             self.collect()
         assert self.training_set is not None
         start = time.perf_counter()
-        self.model = HierarchicalModel(
+        with tele.span(
+            "tune.fit",
+            program=self.workload.abbr,
+            examples=len(self.training_set),
             n_trees=self.n_trees,
-            learning_rate=self.learning_rate,
-            tree_complexity=self.tree_complexity,
-            target_accuracy=self.target_accuracy,
-            random_state=self.seed,
-        )
-        self.model.fit(self.training_set.features(), self.training_set.log_times())
+        ) as span:
+            self.model = HierarchicalModel(
+                n_trees=self.n_trees,
+                learning_rate=self.learning_rate,
+                tree_complexity=self.tree_complexity,
+                target_accuracy=self.target_accuracy,
+                random_state=self.seed,
+            )
+            self.model.fit(self.training_set.features(), self.training_set.log_times())
+            span.note(holdout_error=float(self.model.holdout_error_))
         self._modeling_seconds = time.perf_counter() - start
         return self.model
 
@@ -169,11 +181,23 @@ class DacTuner:
         rng = derive_rng("dac-ga", self.workload.abbr, datasize, self.seed)
 
         start = time.perf_counter()
-        result = ga.minimize(
-            fitness, rng, generations=generations, seed_vectors=seeds, patience=patience
-        )
+        with tele.span(
+            "tune.search",
+            program=self.workload.abbr,
+            datasize=datasize,
+            generations=generations,
+        ) as span:
+            result = ga.minimize(
+                fitness, rng, generations=generations, seed_vectors=seeds,
+                patience=patience,
+            )
+            span.note(
+                best_fitness=float(result.best_fitness),
+                converged_at=result.converged_at,
+            )
         search_seconds = time.perf_counter() - start
 
+        registry = get_registry()
         return TuningReport(
             program=self.workload.abbr,
             datasize=datasize,
@@ -185,6 +209,7 @@ class DacTuner:
             modeling_wall_seconds=self._modeling_seconds,
             searching_wall_seconds=search_seconds,
             engine_stats=self.engine.stats if self.engine.stats.runs else None,
+            metrics=registry.snapshot() if registry.enabled else None,
         )
 
     # ------------------------------------------------------------------

@@ -158,8 +158,13 @@ class InProcessBackend(ExecutionBackend):
             self._simulator = SparkSimulator(cluster)
 
     def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
-        outcomes = [
-            _execute_with_retry(
+        # Sequential execution: a request's queue wait is the time the
+        # batch spent on the requests ahead of it.
+        batch_start = time.perf_counter()
+        outcomes: List[ExecOutcome] = []
+        for request in requests:
+            queue_wait = time.perf_counter() - batch_start
+            outcome = _execute_with_retry(
                 self._simulator,
                 request.job,
                 request.config,
@@ -167,10 +172,8 @@ class InProcessBackend(ExecutionBackend):
                 self.backoff_seconds,
                 self.name,
             )
-            for request in requests
-        ]
-        for outcome in outcomes:
-            self._recorder.record(outcome)
+            self._recorder.record(outcome, queue_wait=queue_wait)
+            outcomes.append(outcome)
         return outcomes
 
     def signature(self) -> str:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -27,6 +28,7 @@ from repro.engine.backends import ExecutionBackend
 from repro.engine.request import ExecOutcome, ExecRequest, ExecResult
 from repro.engine.stats import EngineStats
 from repro.sparksim.simulator import RunResult
+from repro.telemetry.metrics import get_registry
 
 
 def request_key(request: ExecRequest, substrate_signature: str) -> str:
@@ -71,6 +73,9 @@ class CachedBackend(ExecutionBackend):
     ):
         super().__init__()
         self.inner = inner
+        # Each request through this cache is telemetered exactly once,
+        # by this recorder; mute the inner backend's tap.
+        inner._recorder.telemetry = False
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -82,11 +87,19 @@ class CachedBackend(ExecutionBackend):
         return self._signature
 
     def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
+        registry = get_registry()
         outcomes: List[Optional[ExecOutcome]] = [None] * len(requests)
         misses: List[Tuple[int, str, ExecRequest]] = []
         for i, request in enumerate(requests):
             key = request_key(request, self._signature)
-            run = self._lookup(key)
+            if registry.enabled:
+                lookup_start = time.perf_counter()
+                run = self._lookup(key)
+                registry.timer("engine.cache.lookup_seconds").labels(
+                    result="hit" if run is not None else "miss"
+                ).observe(time.perf_counter() - lookup_start)
+            else:
+                run = self._lookup(key)
             if run is not None:
                 outcomes[i] = ExecResult(
                     run=run,

@@ -24,6 +24,7 @@ from scipy.optimize import nnls
 
 from repro.models.boosting import GradientBoostedTrees
 from repro.models.metrics import mean_relative_error
+from repro.telemetry import events as tele
 
 
 class HierarchicalModel:
@@ -113,6 +114,15 @@ class HierarchicalModel:
             self._weights = self._combine(component_val_preds, y_val)
             blended = self._blend(component_val_preds)
             self.holdout_error_ = mean_relative_error(np.exp(blended), measured_val)
+            if tele.enabled():
+                tele.event(
+                    "hm.order",
+                    order=order,
+                    holdout_error=float(self.holdout_error_),
+                    components=len(self._components),
+                    weights=[float(w) for w in self._weights],
+                    target_accuracy=self.target_accuracy,
+                )
             if (1.0 - self.holdout_error_) >= self.target_accuracy:
                 break
         return self

@@ -1,0 +1,91 @@
+"""Canonical telemetry fields for simulator observations.
+
+The single source of truth for what a stage observation *is* when it
+leaves the simulator: the same field dictionaries are emitted as
+``stage.completed`` telemetry events by
+:class:`~repro.sparksim.simulator.SparkSimulator` and consumed by
+:mod:`repro.sparksim.report` to render run reports — so the event log
+and the human-readable report can never drift apart, and a saved
+event log can be summarized back into the same per-stage table
+(:func:`stage_table_from_records`, used by ``repro trace``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.common.units import fmt_bytes, fmt_duration
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.sparksim.simulator import StageResult
+
+#: Event names the simulator emits.
+STAGE_COMPLETED = "stage.completed"
+STAGE_OOM_RETRY = "stage.oom_retry"
+RUN_SPAN = "sim.run"
+
+
+def stage_event_fields(stage: "StageResult") -> Dict[str, object]:
+    """The canonical field dict of one stage observation."""
+    return {
+        "stage": stage.name,
+        "seconds": stage.seconds,
+        "gc_seconds": stage.gc_seconds,
+        "spill_bytes": stage.spill_bytes,
+        "num_tasks": stage.num_tasks,
+        "iterations": stage.iterations,
+        "expected_attempts_per_task": stage.expected_attempts_per_task,
+        "job_rerun_factor": stage.job_rerun_factor,
+        "compute_core_seconds": stage.compute_core_seconds,
+        "io_core_seconds": stage.io_core_seconds,
+        "shuffle_core_seconds": stage.shuffle_core_seconds,
+    }
+
+
+def stage_fields_from_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Unwrap a telemetry record (or accept a raw field dict as-is)."""
+    fields = record.get("fields")
+    if isinstance(fields, dict) and "stage" in fields:
+        return fields
+    return record
+
+
+def stage_table_from_records(records: Iterable[Dict[str, object]]) -> str:
+    """Aggregate ``stage.completed`` records into a per-stage text table.
+
+    Accepts full telemetry records (event-log lines) or bare field
+    dicts; records that are not stage completions are ignored.  Returns
+    "" when no stage events are present.
+    """
+    rows: Dict[str, Dict[str, float]] = {}
+    order: List[str] = []
+    for record in records:
+        if record.get("kind") == "event" and record.get("name") != STAGE_COMPLETED:
+            continue
+        fields = stage_fields_from_record(record)
+        name = fields.get("stage")
+        if name is None:
+            continue
+        name = str(name)
+        if name not in rows:
+            rows[name] = {"runs": 0, "seconds": 0.0, "gc": 0.0, "spill": 0.0}
+            order.append(name)
+        agg = rows[name]
+        agg["runs"] += 1
+        agg["seconds"] += float(fields.get("seconds", 0.0))
+        agg["gc"] += float(fields.get("gc_seconds", 0.0))
+        agg["spill"] += float(fields.get("spill_bytes", 0.0))
+    if not rows:
+        return ""
+    name_width = max(len(n) for n in order + ["stage"])
+    lines = [
+        f"{'stage':<{name_width}} {'runs':>6} {'total':>10} {'gc':>10} {'spill':>10}"
+    ]
+    for name in order:
+        agg = rows[name]
+        lines.append(
+            f"{name:<{name_width}} {int(agg['runs']):>6d} "
+            f"{fmt_duration(agg['seconds']):>10} {fmt_duration(agg['gc']):>10} "
+            f"{fmt_bytes(agg['spill']):>10}"
+        )
+    return "\n".join(lines)

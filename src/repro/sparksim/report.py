@@ -6,17 +6,26 @@ GC/compute/IO/shuffle decomposition, retry and spill diagnostics, and a
 one-line health verdict pointing at the dominant bottleneck — the same
 reading of the data that Section 5.8 performs manually for KMeans and
 TeraSort.
+
+The stage decomposition is built from the canonical telemetry field
+dictionaries of :mod:`repro.sparksim.events` — the same records the
+simulator emits as ``stage.completed`` events — so the event log and
+this report are two renderings of one source of truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.common.units import fmt_bytes, fmt_duration
-from repro.sparksim.simulator import RunResult, StageResult
+from repro.sparksim.events import stage_event_fields
+from repro.sparksim.simulator import RunResult
 
 _BAR_WIDTH = 24
+
+#: A stage observation as rendered here: the canonical telemetry fields.
+StageRecord = Dict[str, object]
 
 
 def _bar(fraction: float) -> str:
@@ -32,17 +41,25 @@ class Diagnosis:
     detail: str
 
 
-def diagnose(result: RunResult) -> Diagnosis:
-    """Name the dominant pathology of a run (or 'compute'/'io' if healthy)."""
-    total = max(result.seconds, 1e-9)
+def _diagnose_records(
+    records: Sequence[StageRecord],
+    total_seconds: float,
+    datasize_bytes: float,
+) -> Diagnosis:
     core_seconds = sum(
-        s.compute_core_seconds + s.io_core_seconds + s.shuffle_core_seconds
-        for s in result.stages
+        float(r["compute_core_seconds"])
+        + float(r["io_core_seconds"])
+        + float(r["shuffle_core_seconds"])
+        for r in records
     )
-    gc = result.gc_seconds
+    gc = sum(float(r["gc_seconds"]) for r in records)
+    spill = sum(float(r["spill_bytes"]) for r in records)
 
     worst_retry = max(
-        (s.expected_attempts_per_task * s.job_rerun_factor for s in result.stages),
+        (
+            float(r["expected_attempts_per_task"]) * float(r["job_rerun_factor"])
+            for r in records
+        ),
         default=1.0,
     )
     if worst_retry > 2.0:
@@ -58,58 +75,70 @@ def diagnose(result: RunResult) -> Diagnosis:
             f"{fmt_duration(core_seconds)} of useful work — grow heaps or "
             "reduce concurrent tasks per executor",
         )
-    if result.spill_bytes > result.datasize_bytes:
+    if spill > datasize_bytes:
         return Diagnosis(
             "spill",
-            f"{fmt_bytes(result.spill_bytes)} spilled (more than the input) — "
+            f"{fmt_bytes(spill)} spilled (more than the input) — "
             "increase execution memory or partitions",
         )
-    shuffle = sum(s.shuffle_core_seconds for s in result.stages)
-    compute = sum(s.compute_core_seconds for s in result.stages)
-    io = sum(s.io_core_seconds for s in result.stages)
+    shuffle = sum(float(r["shuffle_core_seconds"]) for r in records)
+    compute = sum(float(r["compute_core_seconds"]) for r in records)
+    io = sum(float(r["io_core_seconds"]) for r in records)
     dominant = max((compute, "compute"), (io, "io"), (shuffle, "shuffle"))
     return Diagnosis(dominant[1], f"{dominant[1]}-bound; no pathology detected")
 
 
+def diagnose(result: RunResult) -> Diagnosis:
+    """Name the dominant pathology of a run (or 'compute'/'io' if healthy)."""
+    records = [stage_event_fields(s) for s in result.stages]
+    return _diagnose_records(
+        records, max(result.seconds, 1e-9), result.datasize_bytes
+    )
+
+
 def render_run_report(result: RunResult, title: str = "") -> str:
     """Multi-line report for one simulated execution."""
+    records = [stage_event_fields(s) for s in result.stages]
     lines: List[str] = []
     header = title or f"{result.program} ({fmt_bytes(result.datasize_bytes)})"
     lines.append(f"=== {header} — total {fmt_duration(result.seconds)} ===")
 
     total = max(result.seconds, 1e-9)
-    name_width = max((len(s.name) for s in result.stages), default=4)
-    for stage in result.stages:
-        share = stage.seconds / total
+    name_width = max((len(str(r["stage"])) for r in records), default=4)
+    for record in records:
+        seconds = float(record["seconds"])
+        share = seconds / total
         lines.append(
-            f"{stage.name:<{name_width}} [{_bar(share)}] "
-            f"{fmt_duration(stage.seconds):>10} ({share * 100:4.1f}%) "
-            f"x{stage.iterations:<3d} tasks={stage.num_tasks}"
+            f"{str(record['stage']):<{name_width}} [{_bar(share)}] "
+            f"{fmt_duration(seconds):>10} ({share * 100:4.1f}%) "
+            f"x{int(record['iterations']):<3d} tasks={int(record['num_tasks'])}"
         )
-        extras = _stage_extras(stage)
+        extras = _stage_extras(record)
         if extras:
             lines.append(" " * name_width + "   " + extras)
 
+    gc = sum(float(r["gc_seconds"]) for r in records)
+    spill = sum(float(r["spill_bytes"]) for r in records)
     lines.append(
-        f"totals: GC {fmt_duration(result.gc_seconds)}, "
-        f"spill {fmt_bytes(result.spill_bytes)}"
+        f"totals: GC {fmt_duration(gc)}, "
+        f"spill {fmt_bytes(spill)}"
     )
-    verdict = diagnose(result)
+    verdict = _diagnose_records(records, total, result.datasize_bytes)
     lines.append(f"verdict: {verdict.bottleneck} — {verdict.detail}")
     return "\n".join(lines)
 
 
-def _stage_extras(stage: StageResult) -> str:
+def _stage_extras(record: StageRecord) -> str:
     """Second line of per-stage detail, only when something is notable."""
     notes: List[str] = []
-    if stage.gc_seconds > 1.0:
-        notes.append(f"gc={fmt_duration(stage.gc_seconds)}")
-    if stage.spill_bytes > 0:
-        notes.append(f"spill={fmt_bytes(stage.spill_bytes)}")
-    if stage.expected_attempts_per_task > 1.05:
-        notes.append(f"attempts={stage.expected_attempts_per_task:.2f}")
-    if stage.job_rerun_factor > 1.05:
-        notes.append(f"job-reruns={stage.job_rerun_factor:.2f}")
+    if float(record["gc_seconds"]) > 1.0:
+        notes.append(f"gc={fmt_duration(float(record['gc_seconds']))}")
+    if float(record["spill_bytes"]) > 0:
+        notes.append(f"spill={fmt_bytes(float(record['spill_bytes']))}")
+    if float(record["expected_attempts_per_task"]) > 1.05:
+        notes.append(f"attempts={float(record['expected_attempts_per_task']):.2f}")
+    if float(record["job_rerun_factor"]) > 1.05:
+        notes.append(f"job-reruns={float(record['job_rerun_factor']):.2f}")
     return "  ".join(notes)
 
 

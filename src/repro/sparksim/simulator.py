@@ -27,12 +27,19 @@ from repro.common.rng import derive_rng
 from repro.common.units import MB
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
 from repro.sparksim.config import SparkConf
+from repro.sparksim.events import (
+    RUN_SPAN,
+    STAGE_COMPLETED,
+    STAGE_OOM_RETRY,
+    stage_event_fields,
+)
 from repro.sparksim.dag import JobSpec, StageSpec
 from repro.sparksim.memory import MemoryModel
 from repro.sparksim.network import NetworkModel
 from repro.sparksim.scheduler import WaveScheduler
 from repro.sparksim.serializer import SerializerModel
 from repro.sparksim.task import StageCostModel
+from repro.telemetry import events as tele
 
 #: Jobs smaller than this can run entirely on the driver when
 #: ``spark.localExecution.enabled`` is true.
@@ -107,7 +114,18 @@ class SparkSimulator:
             job.datasize_bytes,
             conf.config.space.encode(conf.config).tobytes(),
         )
+        if not tele.enabled():
+            return self._execute(job, conf, rng)
+        with tele.span(
+            RUN_SPAN, program=job.program, datasize_bytes=job.datasize_bytes
+        ) as span:
+            result = self._execute(job, conf, rng)
+            span.note(seconds=round(result.seconds, 6), stages=len(result.stages))
+            return result
 
+    def _execute(
+        self, job: JobSpec, conf: SparkConf, rng: np.random.Generator
+    ) -> RunResult:
         if conf.local_execution and job.total_input_bytes < _LOCAL_EXECUTION_LIMIT:
             return self._run_locally(job, conf, rng)
 
@@ -199,6 +217,20 @@ class SparkSimulator:
                 )
             )
             total += stage_seconds
+            if tele.enabled():
+                tele.event(
+                    STAGE_COMPLETED,
+                    program=job.program,
+                    **stage_event_fields(results[-1]),
+                )
+                if attempt_factor > 1.05:
+                    tele.event(
+                        STAGE_OOM_RETRY,
+                        program=job.program,
+                        stage=stage.name,
+                        expected_attempts_per_task=timing.expected_attempts_per_task,
+                        job_rerun_factor=timing.job_rerun_factor,
+                    )
 
         total *= float(rng.lognormal(mean=0.0, sigma=self.noise_sigma))
         return RunResult(
@@ -315,6 +347,13 @@ class SparkSimulator:
                 )
             )
             total += seconds
+            if tele.enabled():
+                tele.event(
+                    STAGE_COMPLETED,
+                    program=job.program,
+                    local=True,
+                    **stage_event_fields(results[-1]),
+                )
         total *= float(rng.lognormal(mean=0.0, sigma=self.noise_sigma))
         return RunResult(
             program=job.program,

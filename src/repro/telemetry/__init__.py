@@ -1,0 +1,144 @@
+"""Telemetry: the always-on record of what a run did.
+
+DAC's analysis sections are all observations of the tuning pipeline's
+internals — GA convergence (Fig. 11), stage decompositions (Fig. 13/14),
+phase costs (Table 3).  This package makes those observations a
+first-class, always-available layer instead of something bespoke
+experiment scripts re-derive:
+
+* :mod:`repro.telemetry.metrics` — a metrics registry (counters,
+  gauges, histograms, timers; labeled series; immutable snapshots) with
+  a process-global default and a no-op mode;
+* :mod:`repro.telemetry.events` — the ``span()``/``event()`` API
+  recording structured, monotonically-timestamped records to pluggable
+  sinks;
+* :mod:`repro.telemetry.sinks` — an in-memory ring buffer and a JSONL
+  event-log writer (the reproduction's analogue of Spark's event log);
+* :mod:`repro.telemetry.trace` — event-log reading, the ``repro
+  trace`` text timeline, and Chrome-trace (``chrome://tracing`` /
+  Perfetto) export;
+* :mod:`repro.telemetry.log` — structured logging behind the CLI's
+  ``--verbose``/``--quiet``.
+
+Telemetry is **off by default**: instrumented code pays one global load
+and a ``None``/no-op check per record, quantified by
+``benchmarks/bench_telemetry.py``.  Turn it on for a scope with::
+
+    from repro import telemetry
+
+    with telemetry.session(directory="out") as tel:
+        ...  # spans, events and metrics flow to out/events.jsonl
+    # or imperatively: telemetry.enable(...) / telemetry.disable()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.telemetry.events import (
+    Telemetry,
+    enabled,
+    event,
+    get_telemetry,
+    install,
+    span,
+)
+from repro.telemetry.log import configure_logging, get_logger
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.sinks import JsonlSink, RingBufferSink
+from repro.telemetry.trace import (
+    EventLog,
+    read_event_log,
+    render_timeline,
+    render_trace_report,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "EventLog",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "RingBufferSink",
+    "Telemetry",
+    "configure_logging",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "get_logger",
+    "get_registry",
+    "get_telemetry",
+    "install",
+    "read_event_log",
+    "render_timeline",
+    "render_trace_report",
+    "session",
+    "set_registry",
+    "span",
+    "write_chrome_trace",
+]
+
+#: Default ring capacity: enough for a FAST-scale tune run's records.
+DEFAULT_RING_CAPACITY = 65536
+
+
+def enable(
+    directory: Optional[Union[str, Path]] = None,
+    ring_capacity: int = DEFAULT_RING_CAPACITY,
+    registry: Optional[MetricsRegistry] = None,
+) -> Telemetry:
+    """Turn telemetry on process-globally.
+
+    Attaches an in-memory ring sink always (feeding trace export) and a
+    JSONL event-log writer at ``<directory>/events.jsonl`` when a
+    directory is given, and installs a live metrics registry.  Returns
+    the active :class:`Telemetry`; call :func:`disable` to tear down.
+    """
+    if enabled():
+        raise RuntimeError("telemetry is already enabled; call disable() first")
+    ring = RingBufferSink(ring_capacity)
+    sinks = [ring]
+    if directory is not None:
+        sinks.append(JsonlSink(Path(directory) / "events.jsonl"))
+    telemetry = Telemetry(sinks)
+    telemetry.ring = ring
+    install(telemetry)
+    set_registry(registry if registry is not None else MetricsRegistry())
+    return telemetry
+
+
+def disable() -> Optional[Telemetry]:
+    """Tear telemetry down (idempotent); returns the retired pipeline.
+
+    The retired object's ring records stay readable — the CLI exports
+    its Chrome trace from them after disabling.
+    """
+    telemetry = install(None)
+    if telemetry is not None:
+        telemetry.close()
+    set_registry(None)
+    return telemetry
+
+
+@contextmanager
+def session(
+    directory: Optional[Union[str, Path]] = None,
+    ring_capacity: int = DEFAULT_RING_CAPACITY,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[Telemetry]:
+    """``enable()``/``disable()`` as a scope."""
+    telemetry = enable(directory, ring_capacity=ring_capacity, registry=registry)
+    try:
+        yield telemetry
+    finally:
+        disable()

@@ -1,0 +1,432 @@
+"""Metrics registry: counters, gauges, histograms and timers.
+
+The registry is the quantitative half of the telemetry layer (the
+event log in :mod:`repro.telemetry.events` is the qualitative half).
+Instrumented code asks the process-global registry for an instrument by
+name and updates it; an instrument acts as a *family* — ``.labels()``
+returns the child series for one label set — and
+:meth:`MetricsRegistry.snapshot` freezes the whole registry into an
+immutable :class:`MetricsSnapshot` that reports and benchmarks can carry
+around safely.
+
+No-op mode: the global registry defaults to a :class:`NullRegistry`
+whose instruments are shared do-nothing singletons, so an uninstrumented
+process pays one attribute load and a method call per metric update —
+the "provably negligible" disabled path that
+``benchmarks/bench_telemetry.py`` quantifies.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "Timer",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default histogram buckets (seconds-oriented, geometric-ish).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+def series_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Canonical ``name{k=v,...}`` rendering of one labeled series."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Instrument:
+    """Family/series duality shared by every concrete instrument.
+
+    The object handed out by the registry is the unlabeled base series
+    *and* the family: ``.labels(backend="cached")`` returns (creating on
+    demand) the child series for that label set.
+    """
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.used = False  # snapshot skips series that were never touched
+        self._children: Dict[Tuple[Tuple[str, str], ...], "_Instrument"] = {}
+
+    def labels(self, **labelset: object) -> "_Instrument":
+        key = tuple(sorted((k, str(v)) for k, v in labelset.items()))
+        child = self._children.get(key)
+        if child is None:
+            child = self._children.setdefault(key, type(self)(self.name, self.help))
+        return child
+
+    def _series(self) -> List[Tuple[str, "_Instrument"]]:
+        out: List[Tuple[str, _Instrument]] = []
+        if self.used:
+            out.append((series_name(self.name, ()), self))
+        for key in sorted(self._children):
+            child = self._children[key]
+            if child.used:
+                out.append((series_name(self.name, key), child))
+        return out
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (requests, retries, cache hits)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+        self.used = True
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.used = True
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self.used = True
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+        self.used = True
+
+
+class Histogram(_Instrument):
+    """Distribution over fixed buckets plus count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        # One slot per bound plus the +inf overflow slot.
+        self._counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def labels(self, **labelset: object) -> "Histogram":
+        key = tuple(sorted((k, str(v)) for k, v in labelset.items()))
+        child = self._children.get(key)
+        if child is None:
+            child = self._children.setdefault(
+                key, type(self)(self.name, self.help, self.buckets)
+            )
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.used = True
+
+    def freeze(self) -> "HistogramSnapshot":
+        cumulative = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            cumulative.append((bound, running))
+        return HistogramSnapshot(
+            count=self.count,
+            sum=self.sum,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            buckets=tuple(cumulative),
+        )
+
+
+class Timer(Histogram):
+    """Histogram of durations with a ``with timer.time():`` sugar."""
+
+    kind = "timer"
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable view of one histogram series."""
+
+    count: int
+    sum: float
+    min: float
+    max: float
+    #: Cumulative counts: ((bound, observations <= bound), ...); values
+    #: above the last bound are in ``count`` but no bucket.
+    buckets: Tuple[Tuple[float, int], ...]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for bound, cumulative in self.buckets:
+            if cumulative >= rank:
+                return min(bound, self.max)
+        return self.max
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time copy of a whole registry.
+
+    The mappings are read-only views over dicts built fresh at snapshot
+    time; the registry keeps mutating afterwards without affecting them.
+    """
+
+    counters: Mapping[str, float]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, HistogramSnapshot]
+
+    def __post_init__(self) -> None:
+        for field in ("counters", "gauges", "histograms"):
+            object.__setattr__(
+                self, field, MappingProxyType(dict(getattr(self, field)))
+            )
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (written as ``metrics.json`` by the CLI)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                    "p50": h.quantile(0.5),
+                    "p99": h.quantile(0.99),
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Fixed-width text table of every series."""
+        lines: List[str] = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:<44s} {self.counters[name]:>12g}")
+        for name in sorted(self.gauges):
+            lines.append(f"{name:<44s} {self.gauges[name]:>12g}")
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            lines.append(
+                f"{name:<44s} n={h.count:<7d} mean={h.mean:.6f} "
+                f"min={h.min:.6f} max={h.max:.6f}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot on demand."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument factories -------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, (name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, (name, help))
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, (name, help, buckets))
+
+    def timer(
+        self, name: str, help: str = "", buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Timer:
+        return self._get(name, Timer, (name, help, buckets))
+
+    def _get(self, name, cls, args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.setdefault(name, cls(*args))
+        if instrument.kind != cls.kind:
+            raise TypeError(
+                f"metric {name!r} is already registered as a {instrument.kind}"
+            )
+        return instrument
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, HistogramSnapshot] = {}
+        for name in sorted(self._instruments):
+            family = self._instruments[name]
+            for series, instrument in family._series():
+                if instrument.kind == "counter":
+                    counters[series] = instrument.value  # type: ignore[attr-defined]
+                elif instrument.kind == "gauge":
+                    gauges[series] = instrument.value  # type: ignore[attr-defined]
+                else:
+                    histograms[series] = instrument.freeze()  # type: ignore[attr-defined]
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument: every update is a constant no-op."""
+
+    __slots__ = ()
+
+    def labels(self, **labelset: object) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_EMPTY_SNAPSHOT = MetricsSnapshot(counters={}, gauges={}, histograms={})
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out the shared no-op instrument."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no storage at all
+        pass
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def timer(self, name, help="", buckets=DEFAULT_BUCKETS) -> Timer:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def snapshot(self) -> MetricsSnapshot:
+        return _EMPTY_SNAPSHOT
+
+
+# ----------------------------------------------------------------------
+# The process-global default registry.
+# ----------------------------------------------------------------------
+_REGISTRY: MetricsRegistry = NullRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (a no-op one until telemetry is on)."""
+    return _REGISTRY
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` resets to no-op); returns
+    the previous one so callers can restore it."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry if registry is not None else NullRegistry()
+    return previous

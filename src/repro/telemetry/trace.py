@@ -1,0 +1,247 @@
+"""Event-log reading, text timelines, and Chrome-trace export.
+
+:func:`read_event_log` parses a JSONL event log written by
+:class:`~repro.telemetry.sinks.JsonlSink` back into an
+:class:`EventLog` with the span tree reconstructed;
+:func:`render_trace_report` turns it into the text timeline and summary
+tables behind ``repro trace``; :func:`write_chrome_trace` exports any
+record sequence as a ``chrome://tracing`` / Perfetto-loadable JSON file
+(spans become ``"ph": "X"`` complete events, point events become
+instants).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.events import ROOT
+
+__all__ = [
+    "EventLog",
+    "read_event_log",
+    "render_timeline",
+    "render_trace_report",
+    "write_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class EventLog:
+    """A parsed telemetry event log."""
+
+    path: Optional[Path]
+    meta: Dict[str, object]
+    records: Tuple[Dict[str, object], ...]
+
+    @property
+    def spans(self) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("kind") == "span"]
+
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("kind") == "event"]
+
+    @property
+    def duration(self) -> float:
+        """Seconds from the first to the last recorded instant."""
+        points: List[float] = []
+        for r in self.records:
+            ts = r.get("ts")
+            if ts is None:
+                continue
+            points.append(float(ts))
+            if r.get("kind") == "span":
+                points.append(float(ts) + float(r.get("dur", 0.0)))
+        return max(points) - min(points) if points else 0.0
+
+    def children_of(self, span_id: int) -> List[Dict[str, object]]:
+        """Child spans of ``span_id`` (``ROOT`` for top-level), by start."""
+        kids = [s for s in self.spans if s.get("parent", ROOT) == span_id]
+        return sorted(kids, key=lambda s: float(s.get("ts", 0.0)))
+
+    def named(self, name: str) -> List[Dict[str, object]]:
+        """All span/event records with this name."""
+        return [r for r in self.records if r.get("name") == name]
+
+
+def read_event_log(path: Union[str, Path]) -> EventLog:
+    """Parse a JSONL event log; unreadable lines are skipped."""
+    path = Path(path)
+    meta: Dict[str, object] = {}
+    records: List[Dict[str, object]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("kind") == "meta" and not meta:
+                meta = record
+            else:
+                records.append(record)
+    return EventLog(path=path, meta=meta, records=tuple(records))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+def write_chrome_trace(
+    records: Iterable[Dict[str, object]],
+    path: Union[str, Path],
+    pid: int = 1,
+) -> Path:
+    """Write records as a Chrome/Perfetto trace; returns the path."""
+    trace_events: List[Dict[str, object]] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            trace_events.append(
+                {
+                    "name": record.get("name", "?"),
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": float(record.get("ts", 0.0)) * 1e6,
+                    "dur": float(record.get("dur", 0.0)) * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": record.get("fields", {}),
+                }
+            )
+        elif kind == "event":
+            trace_events.append(
+                {
+                    "name": record.get("name", "?"),
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": float(record.get("ts", 0.0)) * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": record.get("fields", {}),
+                }
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(
+            {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+            handle,
+            default=str,
+        )
+    return path
+
+
+# ----------------------------------------------------------------------
+# Text rendering (the ``repro trace`` command)
+# ----------------------------------------------------------------------
+_BAR_WIDTH = 32
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    cells = [list(headers)] + [list(r) for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(cells[0], widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_timeline(log: EventLog, limit: int = 40) -> str:
+    """Indented span tree with offset bars over the session's duration."""
+    spans = log.spans
+    if not spans:
+        return "(no spans recorded)"
+    t0 = min(float(s.get("ts", 0.0)) for s in spans)
+    t1 = max(float(s.get("ts", 0.0)) + float(s.get("dur", 0.0)) for s in spans)
+    total = max(t1 - t0, 1e-9)
+
+    lines: List[str] = []
+    truncated = [False]
+
+    def emit(span: Dict[str, object], depth: int) -> None:
+        if len(lines) >= limit:
+            truncated[0] = True
+            return
+        ts = float(span.get("ts", 0.0)) - t0
+        dur = float(span.get("dur", 0.0))
+        start = int(round(ts / total * _BAR_WIDTH))
+        length = max(1, int(round(dur / total * _BAR_WIDTH)))
+        length = min(length, _BAR_WIDTH - min(start, _BAR_WIDTH - 1))
+        bar = "." * start + "#" * length
+        bar = bar[:_BAR_WIDTH].ljust(_BAR_WIDTH, ".")
+        label = ("  " * depth) + str(span.get("name", "?"))
+        lines.append(
+            f"{ts:>9.3f}s  {label:<32s} {_fmt_seconds(dur):>8s}  |{bar}|"
+        )
+        for child in log.children_of(int(span.get("id", ROOT))):
+            emit(child, depth + 1)
+
+    for top in log.children_of(ROOT):
+        emit(top, 0)
+    if truncated[0]:
+        lines.append(f"... truncated at {limit} rows (--limit to raise)")
+    return "\n".join(lines)
+
+
+def _span_summary(log: EventLog) -> str:
+    by_name: Dict[str, List[float]] = {}
+    for span in log.spans:
+        by_name.setdefault(str(span.get("name", "?")), []).append(
+            float(span.get("dur", 0.0))
+        )
+    rows = []
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = by_name[name]
+        rows.append(
+            [
+                name,
+                str(len(durs)),
+                _fmt_seconds(sum(durs)),
+                _fmt_seconds(sum(durs) / len(durs)),
+                _fmt_seconds(max(durs)),
+            ]
+        )
+    return _table(("span", "count", "total", "mean", "max"), rows)
+
+
+def _event_summary(log: EventLog) -> str:
+    counts: Dict[str, int] = {}
+    for record in log.events:
+        name = str(record.get("name", "?"))
+        counts[name] = counts.get(name, 0) + 1
+    rows = [[name, str(counts[name])] for name in sorted(counts)]
+    return _table(("event", "count"), rows)
+
+
+def render_trace_report(log: EventLog, limit: int = 40) -> str:
+    """The ``repro trace`` text report: header, timeline, summaries."""
+    source = log.path.name if log.path is not None else "<memory>"
+    header = (
+        f"=== event log {source}: {len(log.records)} records, "
+        f"{_fmt_seconds(log.duration)} ==="
+    )
+    sections = [header, "", "timeline:", render_timeline(log, limit=limit)]
+    if log.spans:
+        sections += ["", "spans:", _span_summary(log)]
+    if log.events:
+        sections += ["", "events:", _event_summary(log)]
+    return "\n".join(sections)

@@ -1,0 +1,317 @@
+"""Tests for the telemetry subsystem: metrics, events, sinks, trace."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import events as tele
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.sinks import RingBufferSink
+from repro.telemetry.trace import read_event_log
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry globally off."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_timer(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        registry.counter("runs").inc(2)
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").dec()
+        registry.histogram("sizes").observe(0.5)
+        with registry.timer("t").time():
+            pass
+        snap = registry.snapshot()
+        assert snap.counters["runs"] == 3
+        assert snap.gauges["depth"] == 2
+        assert snap.histograms["sizes"].count == 1
+        assert snap.histograms["t"].count == 1
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_name_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_labels_create_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.labels(backend="a").inc()
+        counter.labels(backend="a").inc()
+        counter.labels(backend="b").inc()
+        snap = registry.snapshot()
+        assert snap.counters["requests{backend=a}"] == 2
+        assert snap.counters["requests{backend=b}"] == 1
+        # The untouched unlabeled parent series is not exported.
+        assert "requests" not in snap.counters
+
+    def test_histogram_snapshot_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for v in (0.001, 0.01, 0.1, 1.0):
+            hist.observe(v)
+        snap = registry.snapshot().histograms["h"]
+        assert snap.count == 4
+        assert snap.min == 0.001 and snap.max == 1.0
+        assert snap.mean == pytest.approx(1.111 / 4)
+        assert 0.0 < snap.quantile(0.5) <= 1.0
+
+    def test_snapshot_is_immutable_and_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = registry.snapshot()
+        registry.counter("c").inc(10)
+        assert snap.counters["c"] == 1  # later activity not reflected
+        with pytest.raises(TypeError):
+            snap.counters["c"] = 99
+
+    def test_snapshot_render_and_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(5)
+        registry.timer("wall").observe(0.25)
+        snap = registry.snapshot()
+        text = snap.render()
+        assert "runs" in text and "wall" in text
+        as_dict = snap.as_dict()
+        assert as_dict["counters"]["runs"] == 5
+        assert as_dict["histograms"]["wall"]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_default_registry_is_null(self):
+        registry = get_registry()
+        assert isinstance(registry, NullRegistry)
+        assert not registry.enabled
+
+    def test_all_instruments_are_shared_noop(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.histogram("b")
+        registry.counter("a").labels(x=1).inc(5)
+        registry.gauge("g").set(3)
+        with registry.timer("t").time():
+            pass
+        assert not registry.snapshot()
+
+    def test_set_registry_roundtrip(self):
+        live = MetricsRegistry()
+        previous = set_registry(live)
+        try:
+            assert get_registry() is live
+        finally:
+            set_registry(previous)
+        assert isinstance(get_registry(), NullRegistry)
+
+
+class TestEventsAndSpans:
+    def test_module_helpers_are_noop_when_off(self):
+        assert not tele.enabled()
+        tele.event("x", a=1)  # must not raise
+        with tele.span("y", b=2) as span:
+            span.note(c=3)
+        assert span is tele.span("z")  # shared null singleton
+
+    def test_event_records_fields_and_timestamps(self):
+        with telemetry.session() as tel:
+            tele.event("stage.completed", stage="sort", seconds=1.5)
+            records = [r for r in tel.records if r["kind"] == "event"]
+        assert records[0]["name"] == "stage.completed"
+        assert records[0]["fields"] == {"stage": "sort", "seconds": 1.5}
+        assert records[0]["ts"] >= 0.0
+
+    def test_span_nesting_parent_ids(self):
+        with telemetry.session() as tel:
+            with tele.span("outer") as outer:
+                tele.event("inside")
+                with tele.span("inner") as inner:
+                    pass
+            spans = {r["name"]: r for r in tel.records if r["kind"] == "span"}
+            events = [r for r in tel.records if r["kind"] == "event"]
+        assert spans["inner"]["parent"] == outer.id
+        assert spans["outer"]["parent"] == tele.ROOT
+        assert events[0]["parent"] == outer.id
+        assert inner.id != outer.id
+
+    def test_span_records_error_class(self):
+        with telemetry.session() as tel:
+            with pytest.raises(RuntimeError):
+                with tele.span("failing"):
+                    raise RuntimeError("boom")
+            record = [r for r in tel.records if r["kind"] == "span"][0]
+        assert record["fields"]["error"] == "RuntimeError"
+
+    def test_monotonic_timestamps(self):
+        with telemetry.session() as tel:
+            for i in range(5):
+                tele.event("tick", i=i)
+            stamps = [r["ts"] for r in tel.records if r["kind"] == "event"]
+        assert stamps == sorted(stamps)
+
+
+class TestSessionLifecycle:
+    def test_enable_twice_raises(self):
+        telemetry.enable()
+        try:
+            with pytest.raises(RuntimeError):
+                telemetry.enable()
+        finally:
+            telemetry.disable()
+
+    def test_disable_is_idempotent_and_returns_pipeline(self):
+        tel = telemetry.enable()
+        assert telemetry.disable() is tel
+        assert telemetry.disable() is None
+
+    def test_session_installs_live_registry(self):
+        with telemetry.session():
+            assert get_registry().enabled
+            assert tele.enabled()
+        assert not get_registry().enabled
+        assert not tele.enabled()
+
+    def test_ring_buffer_bounds_and_counts(self):
+        sink = RingBufferSink(capacity=4)
+        for i in range(10):
+            sink.write({"i": i})
+        assert len(sink.records) == 4
+        assert sink.total_written == 10
+        assert sink.dropped == 6
+        assert sink.records[-1]["i"] == 9
+
+
+class TestEventLogRoundTrip:
+    def test_jsonl_write_read_roundtrip(self, tmp_path):
+        with telemetry.session(directory=tmp_path):
+            with tele.span("outer", label="x"):
+                tele.event("stage.completed", stage="sort", seconds=2.0)
+        log = read_event_log(tmp_path / "events.jsonl")
+        assert log.meta["version"] == 1
+        [span] = log.spans
+        [event] = log.events
+        assert span["name"] == "outer" and span["fields"] == {"label": "x"}
+        assert event["parent"] == span["id"]  # nesting survives the disk trip
+        assert log.duration >= 0.0
+
+    def test_reader_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = {"kind": "event", "name": "ok", "ts": 0.0, "parent": 0, "fields": {}}
+        path.write_text("not json\n" + json.dumps(good) + "\n[1,2]\n\n")
+        log = read_event_log(path)
+        assert [r["name"] for r in log.events] == ["ok"]
+
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        with telemetry.session() as tel:
+            with tele.span("outer"):
+                tele.event("marker", x=1)
+            records = list(tel.records)
+        out = tmp_path / "trace.json"
+        telemetry.write_chrome_trace(records, out)
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "i" in phases
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"outer", "marker"} <= names
+
+    def test_render_trace_report(self, tmp_path):
+        with telemetry.session(directory=tmp_path):
+            with tele.span("tune.search"):
+                tele.event("ga.generation", generation=1)
+        log = read_event_log(tmp_path / "events.jsonl")
+        text = telemetry.render_trace_report(log)
+        assert "timeline:" in text
+        assert "tune.search" in text
+        assert "ga.generation" in text
+
+
+class TestCliIntegration:
+    def test_tune_writes_event_log_and_trace_renders(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        out = tmp_path / "tele"
+        code = main(
+            [
+                "tune", "TS", "--size", "10",
+                "--train", "60", "--trees", "30", "--generations", "5",
+                "--telemetry", str(out), "--trace",
+            ]
+        )
+        assert code == 0
+        assert not tele.enabled()  # session torn down after the command
+
+        names = set()
+        with (out / "events.jsonl").open() as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("name"):
+                    names.add(record["name"])
+        assert {
+            "stage.completed",
+            "ga.generation",
+            "hm.order",
+            "engine.request",
+            "sim.run",
+            "tune.search",
+        } <= names
+
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["counters"]["engine.requests{backend=inprocess}"] > 0
+        assert json.loads((out / "trace.json").read_text())["traceEvents"]
+
+        capsys.readouterr()  # drop the tune output
+        assert main(["trace", str(out / "events.jsonl")]) == 0
+        rendered = capsys.readouterr().out
+        assert "timeline:" in rendered and "sim.run" in rendered
+        assert "stages:" in rendered  # stage table from stage.completed events
+
+    def test_quiet_suppresses_info_output(self, capsys):
+        from repro.cli.main import main
+
+        assert main(["workloads", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+        # A later invocation without --quiet restores info output.
+        assert main(["workloads"]) == 0
+        assert "TeraSort" in capsys.readouterr().out
+
+    def test_telemetry_does_not_change_results(self):
+        """Determinism: the tuned configuration is identical on/off."""
+        from repro.core.tuner import DacTuner
+        from repro.engine import InProcessBackend
+        from repro.workloads import get_workload
+
+        def tune():
+            tuner = DacTuner(
+                get_workload("TS"), n_train=60, n_trees=30, seed=0,
+                engine=InProcessBackend(),
+            )
+            tuner.collect()
+            tuner.fit()
+            return tuner.tune(10.0, generations=5)
+
+        plain = tune()
+        with telemetry.session():
+            instrumented = tune()
+        assert plain.configuration.as_dict() == instrumented.configuration.as_dict()
+        assert plain.predicted_seconds == instrumented.predicted_seconds
+        assert plain.metrics is None
+        assert instrumented.metrics is not None
+        assert instrumented.metrics.counters["engine.requests{backend=inprocess}"] > 0
