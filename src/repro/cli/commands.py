@@ -131,6 +131,8 @@ EXPERIMENTS = tuple(_experiment_registry())
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
+    if getattr(args, "store", None):
+        return _tune_via_service(args)
     with telemetry_session(args):
         workload = get_workload(args.program)
         log.info(
@@ -187,6 +189,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def cmd_collect(args: argparse.Namespace) -> int:
+    if getattr(args, "store", None):
+        return _collect_via_service(args)
     with telemetry_session(args):
         workload = get_workload(args.program)
         engine = build_backend(args)
@@ -283,6 +287,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.sparksim.events import stage_table_from_records
 
+    if getattr(args, "follow", False):
+        log.info("following %s (Ctrl-C to stop) ...", args.eventlog)
+        try:
+            for record in telemetry.follow_events(
+                args.eventlog, idle_timeout=getattr(args, "idle_timeout", None)
+            ):
+                line = telemetry.format_record(record)
+                if line is not None:
+                    log.info("%s", line)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
     event_log = telemetry.read_event_log(args.eventlog)
     log.info("%s", telemetry.render_trace_report(event_log, limit=args.limit))
     stage_table = stage_table_from_records(event_log.records)
@@ -292,6 +309,168 @@ def cmd_trace(args: argparse.Namespace) -> int:
         path = telemetry.write_chrome_trace(event_log.records, args.chrome)
         log.info("\nwrote Chrome trace %s (open in chrome://tracing or Perfetto)", path)
     return 0
+
+
+# ----------------------------------------------------------------------
+# The job service front end (``repro jobs`` and ``--store`` on
+# tune/collect): durable, resumable runs on a RunStore.
+# ----------------------------------------------------------------------
+def _build_service(args: argparse.Namespace):
+    from repro.service import JobService
+
+    return JobService(
+        Path(args.store),
+        engine_factory=lambda: build_backend(args),
+        max_concurrent=getattr(args, "max_concurrent", 1) or 1,
+        use_cache=not getattr(args, "no_cache", False),
+    )
+
+
+def _request_from_args(args: argparse.Namespace, kind: str):
+    from repro.service import TuneRequest
+
+    workload = get_workload(args.program)  # validates the name early
+    return TuneRequest(
+        program=workload.abbr,
+        size=getattr(args, "size", 0.0) or 0.0,
+        kind=kind,
+        n_train=getattr(args, "train", None) or getattr(args, "examples", 600),
+        n_trees=getattr(args, "trees", 250),
+        learning_rate=getattr(args, "learning_rate", 0.1),
+        generations=getattr(args, "generations", 100),
+        seed=args.seed,
+        warm_from=getattr(args, "warm_from", None),
+        budget=getattr(args, "budget", None),
+    )
+
+
+def _report_job(record) -> None:
+    """Log one finished/failed job's outcome."""
+    if record.state == "done" and record.result:
+        log.info("job %s: done", record.job_id)
+        for key in sorted(record.result):
+            log.info("  %s: %s", key, record.result[key])
+    elif record.error:
+        log.info("job %s: %s (%s)", record.job_id, record.state, record.error)
+        log.info("  resume with: repro jobs resume %s", record.job_id)
+    else:
+        log.info("job %s: %s", record.job_id, record.state)
+    if record.runs_by_session:
+        sessions = ", ".join(
+            f"session {s}: {n} runs" for s, n in sorted(record.runs_by_session.items())
+        )
+        log.info("  substrate executions: %s", sessions)
+
+
+def _tune_via_service(args: argparse.Namespace) -> int:
+    with telemetry_session(args):
+        service = _build_service(args)
+        record = service.submit(_request_from_args(args, "tune"))
+        log.info("submitted job %s to %s", record.job_id, args.store)
+        record = service.resume(record.job_id)
+        _report_job(record)
+        if record.state == "done" and args.output:
+            report = service.store.get_report(record.artifact_key("report"))
+            if report is not None:
+                save_spark_conf(report.configuration, args.output)
+                log.info("  wrote %s", args.output)
+    return 0 if record.state == "done" else 1
+
+
+def _collect_via_service(args: argparse.Namespace) -> int:
+    with telemetry_session(args):
+        service = _build_service(args)
+        record = service.submit(_request_from_args(args, "collect"))
+        log.info("submitted job %s to %s", record.job_id, args.store)
+        record = service.resume(record.job_id)
+        _report_job(record)
+        if record.state == "done" and getattr(args, "output", None):
+            training = service.store.get_training_set(
+                record.artifact_key("training")
+            )
+            if training is not None:
+                save_training_set(training, args.output)
+                log.info("  wrote %s", args.output)
+    return 0 if record.state == "done" else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import AdmissionError
+
+    service = _build_service(args)
+    action = args.action
+
+    if action == "submit":
+        kind = "collect" if getattr(args, "collect_only", False) else "tune"
+        try:
+            record = service.submit(
+                _request_from_args(args, kind),
+                priority=getattr(args, "priority", 0),
+            )
+        except AdmissionError as exc:
+            log.error("error: %s", exc)
+            return 1
+        log.info("%s", record.job_id)
+        if getattr(args, "run", False):
+            record = service.resume(record.job_id)
+            _report_job(record)
+            return 0 if record.state == "done" else 1
+        return 0
+
+    if action == "list":
+        records = service.jobs()
+        if not records:
+            log.info("(no jobs in %s)", args.store)
+            return 0
+        header = ("job", "kind", "program", "target", "state", "phase", "detail")
+        rows = [record.summary_row() for record in records]
+        widths = [
+            max(len(str(r[i])) for r in [header, *rows]) for i in range(len(header))
+        ]
+        for row in [header, *rows]:
+            log.info("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        return 0
+
+    if action == "status":
+        record = service.get(args.job_id)
+        log.info("job %s (%s)", record.job_id, record.request.program)
+        log.info("  state: %s   phase: %s", record.state, record.phase)
+        log.info("  progress: %s", json.dumps(record.progress, sort_keys=True))
+        _report_job(record)
+        events = service.store.event_log_path(record.job_id)
+        if events.exists():
+            log.info("  event log: %s (repro trace %s)", events, events)
+        return 0
+
+    if action == "run":
+        finished = service.run_pending(max_jobs=getattr(args, "max_jobs", None))
+        if not finished:
+            log.info("(no queued jobs in %s)", args.store)
+        for record in finished:
+            _report_job(record)
+        return 0 if all(r.state == "done" for r in finished) else 1
+
+    if action == "resume":
+        if not getattr(args, "all", False) and args.job_id is None:
+            log.error("error: give a job id or --all")
+            return 2
+        if getattr(args, "all", False):
+            finished = service.resume_all()
+            if not finished:
+                log.info("(nothing resumable in %s)", args.store)
+            for record in finished:
+                _report_job(record)
+            return 0 if all(r.state == "done" for r in finished) else 1
+        record = service.resume(args.job_id, budget=getattr(args, "budget", None))
+        _report_job(record)
+        return 0 if record.state == "done" else 1
+
+    if action == "cancel":
+        record = service.cancel(args.job_id)
+        log.info("job %s: cancelled", record.job_id)
+        return 0
+
+    raise ValueError(f"unknown jobs action {action!r}")
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:

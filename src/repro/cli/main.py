@@ -43,6 +43,28 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """``--store/--no-cache``: run through the durable job service."""
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="run as a resumable job against a run store at DIR",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --store: do not reuse substrate runs from the store cache",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --store: max substrate executions per session",
+    )
+
+
 def _verbosity_parent() -> argparse.ArgumentParser:
     """``-v/-q`` flags shared by every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -93,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the equivalent spark-submit command")
     _add_engine_flags(tune)
     _add_telemetry_flags(tune)
+    _add_store_flags(tune)
     tune.set_defaults(handler=commands.cmd_tune)
 
     # -- collect ----------------------------------------------------------
@@ -108,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CSV file to write (the paper's matrix S)")
     _add_engine_flags(collect)
     _add_telemetry_flags(collect)
+    _add_store_flags(collect)
     collect.set_defaults(handler=commands.cmd_collect)
 
     # -- run --------------------------------------------------------------
@@ -157,7 +181,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also export a Chrome/Perfetto trace JSON")
     trace.add_argument("--limit", type=int, default=40,
                        help="maximum timeline rows (default: 40)")
+    trace.add_argument("--follow", action="store_true",
+                       help="tail the event log, streaming records as they land")
+    trace.add_argument("--idle-timeout", type=float, default=None, metavar="SEC",
+                       help="with --follow: stop after SEC seconds without "
+                       "a new record (default: follow forever)")
     trace.set_defaults(handler=commands.cmd_trace)
+
+    # -- jobs ----------------------------------------------------------------
+    jobs = sub.add_parser(
+        "jobs",
+        help="durable, resumable tuning jobs on a run store",
+        parents=[verbosity],
+    )
+    jobs_sub = jobs.add_subparsers(dest="action", required=True)
+
+    def _jobs_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub_parser = jobs_sub.add_parser(name, help=help_text, parents=[verbosity])
+        sub_parser.add_argument(
+            "--store", metavar="DIR", required=True,
+            help="run store directory",
+        )
+        sub_parser.add_argument(
+            "--no-cache", action="store_true",
+            help="do not reuse substrate runs from the store cache",
+        )
+        _add_engine_flags(sub_parser)
+        sub_parser.set_defaults(handler=commands.cmd_jobs, action=name)
+        return sub_parser
+
+    submit = _jobs_parser("submit", "enqueue a tuning (or collect-only) job")
+    submit.add_argument("program", help="workload abbreviation or name, e.g. TS")
+    submit.add_argument("--size", type=float, default=0.0,
+                        help="target input size (required unless --collect-only)")
+    submit.add_argument("--collect-only", action="store_true",
+                        help="stop after the collecting phase")
+    submit.add_argument("--train", type=int, default=600)
+    submit.add_argument("--trees", type=int, default=250)
+    submit.add_argument("--learning-rate", type=float, default=0.1)
+    submit.add_argument("--generations", type=int, default=100)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (FIFO within a priority)")
+    submit.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="max substrate executions per session")
+    submit.add_argument("--warm-from", metavar="JOB_ID", default=None,
+                        help="reuse a prior job's training set/model")
+    submit.add_argument("--run", action="store_true",
+                        help="run the job immediately after enqueueing")
+
+    _jobs_parser("list", "list every job in the store")
+
+    status = _jobs_parser("status", "show one job's state, progress and results")
+    status.add_argument("job_id")
+
+    run_jobs = _jobs_parser("run", "run queued jobs (priority order)")
+    run_jobs.add_argument("--max-jobs", type=int, default=None, metavar="N")
+    run_jobs.add_argument("--max-concurrent", type=int, default=1, metavar="N",
+                          help="worker threads draining the queue")
+
+    resume = _jobs_parser("resume", "continue interrupted jobs from checkpoints")
+    resume.add_argument("job_id", nargs="?", default=None)
+    resume.add_argument("--all", action="store_true",
+                        help="resume every resumable job")
+    resume.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="replace the job's per-session run budget")
+
+    cancel = _jobs_parser("cancel", "cancel an unfinished job")
+    cancel.add_argument("job_id")
 
     # -- workloads -----------------------------------------------------------
     workloads = sub.add_parser(

@@ -32,6 +32,27 @@ from repro.workloads.datagen import DatasetSizeGenerator
 
 
 @dataclass(frozen=True)
+class CollectBatch:
+    """One checkpointable unit of collection: all requests for one size.
+
+    A batch is the collector's unit of progress — the job service
+    executes a plan batch-by-batch and persists the vectors gathered so
+    far after each one, so a crashed collection resumes at the next
+    batch instead of from scratch.  The plan (and therefore every
+    configuration drawn) is a pure function of (workload, seed, stream),
+    so replanning after a crash reproduces the identical batches.
+    """
+
+    index: int
+    size: float
+    requests: Tuple[ExecRequest, ...]
+
+    @property
+    def datasize_bytes(self) -> float:
+        return self.requests[0].job.datasize_bytes
+
+
+@dataclass(frozen=True)
 class PerformanceVector:
     """One execution observation — Equation (5)."""
 
@@ -178,50 +199,89 @@ class Collector:
         random stream is drawn up front in the original order, keeping
         the collected set identical across backends.
         """
-        if total_examples < 1:
-            raise ValueError("need at least one example")
-        rng = derive_rng("collector", self.workload.abbr, self.seed, stream)
+        batches = self.plan(total_examples, stream=stream)
         vectors: List[PerformanceVector] = []
-        per_size = [total_examples // self.num_sizes] * self.num_sizes
-        for i in range(total_examples % self.num_sizes):
-            per_size[i] += 1
-        done = 0
         with tele.span(
             "collect",
             program=self.workload.abbr,
             examples=total_examples,
             stream=stream,
         ):
-            for size, k in zip(self.sizes, per_size):
-                if k == 0:
-                    continue
-                job = self.workload.job(size)
-                requests = [
-                    ExecRequest(job=job, config=self.space.random(rng))
-                    for _ in range(k)
-                ]
-                runs = require_success(self.engine.submit(requests))
-                for request, run in zip(requests, runs):
-                    vectors.append(
-                        PerformanceVector(
-                            seconds=run.seconds,
-                            configuration=request.config,
-                            datasize=size,
-                            datasize_bytes=job.datasize_bytes,
-                        )
+            for batch in batches:
+                vectors.extend(
+                    self.run_batch(
+                        batch,
+                        done=len(vectors),
+                        total=total_examples,
+                        progress=progress,
                     )
-                    done += 1
-                    if progress is not None:
-                        progress(done, total_examples)
-                tele.event(
-                    "collect.size",
-                    program=self.workload.abbr,
-                    size=size,
-                    examples=k,
-                    done=done,
-                    total=total_examples,
                 )
         return TrainingSet(self.space, vectors)
+
+    def plan(self, total_examples: int, stream: str = "train") -> List[CollectBatch]:
+        """Draw the full batch plan for a collection, without executing.
+
+        Configurations are drawn size-by-size in the exact order
+        :meth:`collect` executes them, from an RNG derived solely from
+        (workload, seed, stream) — replanning always reproduces the same
+        batches, which is what makes batch-level checkpoint/resume
+        byte-identical to an uninterrupted collection.
+        """
+        if total_examples < 1:
+            raise ValueError("need at least one example")
+        rng = derive_rng("collector", self.workload.abbr, self.seed, stream)
+        per_size = [total_examples // self.num_sizes] * self.num_sizes
+        for i in range(total_examples % self.num_sizes):
+            per_size[i] += 1
+        batches: List[CollectBatch] = []
+        for size, k in zip(self.sizes, per_size):
+            if k == 0:
+                continue
+            job = self.workload.job(size)
+            requests = tuple(
+                ExecRequest(job=job, config=self.space.random(rng))
+                for _ in range(k)
+            )
+            batches.append(
+                CollectBatch(index=len(batches), size=size, requests=requests)
+            )
+        return batches
+
+    def run_batch(
+        self,
+        batch: CollectBatch,
+        done: int = 0,
+        total: Optional[int] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> List[PerformanceVector]:
+        """Execute one planned batch through the engine.
+
+        ``done``/``total`` carry overall progress into the
+        ``collect.size`` telemetry event so resumed collections emit the
+        same event stream an uninterrupted one does.
+        """
+        runs = require_success(self.engine.submit(list(batch.requests)))
+        vectors: List[PerformanceVector] = []
+        for request, run in zip(batch.requests, runs):
+            vectors.append(
+                PerformanceVector(
+                    seconds=run.seconds,
+                    configuration=request.config,
+                    datasize=batch.size,
+                    datasize_bytes=batch.datasize_bytes,
+                )
+            )
+            if progress is not None:
+                progress(done + len(vectors), total or done + len(vectors))
+        tele.event(
+            "collect.size",
+            program=self.workload.abbr,
+            size=batch.size,
+            examples=len(batch.requests),
+            done=done + len(vectors),
+            total=total if total is not None else done + len(vectors),
+        )
+        return vectors
 
     def simulated_hours(self, training_set: TrainingSet) -> float:
         """Cluster-hours the collection would have cost on real hardware

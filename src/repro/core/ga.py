@@ -44,6 +44,31 @@ class GaResult:
         return len(self.history) - 1
 
 
+@dataclass
+class GaState:
+    """The complete, picklable state of a search between generations.
+
+    Everything :meth:`GeneticAlgorithm.step` needs — population, scores,
+    incumbent, staleness counter and the live RNG — so a search can be
+    checkpointed to disk after any generation and resumed in another
+    process with a byte-identical continuation (``numpy`` generators
+    pickle with their stream position intact).
+    """
+
+    pop: np.ndarray
+    scores: np.ndarray
+    best_vec: np.ndarray
+    best_fitness: float
+    history: List[float]
+    stale: int
+    rng: np.random.Generator
+
+    @property
+    def generation(self) -> int:
+        """Generations evaluated so far (0 = initial population only)."""
+        return len(self.history) - 1
+
+
 class GeneticAlgorithm:
     """Minimizes ``fitness(vector)`` over a configuration space.
 
@@ -110,75 +135,117 @@ class GeneticAlgorithm:
             Stop early when the best has not improved for this many
             generations (None disables).
         """
-        d = len(self.space)
+        state = self.start(fitness, rng, seed_vectors=seed_vectors)
+        while not self.done(state, generations, patience):
+            self.step(state, fitness)
+        return self.result(state)
+
+    # ------------------------------------------------------------------
+    # Resumable search: ``minimize`` is ``start`` + ``step`` until
+    # ``done``.  Exposing the pieces lets a caller (the job service)
+    # persist the :class:`GaState` after every generation and continue
+    # later — same RNG stream, same results.
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        fitness: Callable[[np.ndarray], np.ndarray],
+        rng: np.random.Generator,
+        seed_vectors: Optional[Sequence[np.ndarray]] = None,
+    ) -> GaState:
+        """Evaluate the initial population; returns generation-0 state."""
         pop = self._initial_population(rng, seed_vectors)
         scores = np.asarray(fitness(pop), dtype=float)
         if scores.shape != (len(pop),):
             raise ValueError("fitness must return one value per row")
-
-        history: List[float] = [float(scores.min())]
-        best_vec = pop[int(np.argmin(scores))].copy()
         best_fit = float(scores.min())
-        stale = 0
+        state = GaState(
+            pop=pop,
+            scores=scores,
+            best_vec=pop[int(np.argmin(scores))].copy(),
+            best_fitness=best_fit,
+            history=[best_fit],
+            stale=0,
+            rng=rng,
+        )
         if tele.enabled():
             tele.event(
                 "ga.generation",
                 generation=0,
                 best=best_fit,
-                generation_best=history[0],
+                generation_best=best_fit,
                 mean=float(scores.mean()),
                 mutated_genes=0,
                 crossovers=0,
                 stale=0,
             )
+        return state
 
-        for _ in range(generations):
-            order = np.argsort(scores)
-            elite_rows = pop[order[: self.elite]]
+    def step(
+        self,
+        state: GaState,
+        fitness: Callable[[np.ndarray], np.ndarray],
+    ) -> GaState:
+        """Advance the search one generation (mutates and returns state)."""
+        d = len(self.space)
+        rng = state.rng
+        pop, scores = state.pop, state.scores
 
-            n_children = self.population_size - self.elite
-            parents_a = self._select(pop, scores, rng, n_children)
-            parents_b = self._select(pop, scores, rng, n_children)
+        order = np.argsort(scores)
+        elite_rows = pop[order[: self.elite]]
 
-            do_cross = rng.random(n_children) < self.crossover_rate
-            gene_mask = rng.random((n_children, d)) < 0.5
-            children = np.where(gene_mask, parents_a, parents_b)
-            children[~do_cross] = parents_a[~do_cross]
+        n_children = self.population_size - self.elite
+        parents_a = self._select(pop, scores, rng, n_children)
+        parents_b = self._select(pop, scores, rng, n_children)
 
-            mutate = rng.random((n_children, d)) < self.mutation_rate
-            random_genes = rng.random((n_children, d))
-            children = np.where(mutate, random_genes, children)
+        do_cross = rng.random(n_children) < self.crossover_rate
+        gene_mask = rng.random((n_children, d)) < 0.5
+        children = np.where(gene_mask, parents_a, parents_b)
+        children[~do_cross] = parents_a[~do_cross]
 
-            pop = np.vstack([elite_rows, children])
-            scores = np.asarray(fitness(pop), dtype=float)
+        mutate = rng.random((n_children, d)) < self.mutation_rate
+        random_genes = rng.random((n_children, d))
+        children = np.where(mutate, random_genes, children)
 
-            gen_best = float(scores.min())
-            if gen_best < best_fit - 1e-12:
-                best_fit = gen_best
-                best_vec = pop[int(np.argmin(scores))].copy()
-                stale = 0
-            else:
-                stale += 1
-            history.append(best_fit)
-            if tele.enabled():
-                tele.event(
-                    "ga.generation",
-                    generation=len(history) - 1,
-                    best=best_fit,
-                    generation_best=gen_best,
-                    mean=float(scores.mean()),
-                    mutated_genes=int(mutate.sum()),
-                    crossovers=int(do_cross.sum()),
-                    stale=stale,
-                )
-            if patience is not None and stale >= patience:
-                break
+        pop = np.vstack([elite_rows, children])
+        scores = np.asarray(fitness(pop), dtype=float)
+        state.pop, state.scores = pop, scores
 
+        gen_best = float(scores.min())
+        if gen_best < state.best_fitness - 1e-12:
+            state.best_fitness = gen_best
+            state.best_vec = pop[int(np.argmin(scores))].copy()
+            state.stale = 0
+        else:
+            state.stale += 1
+        state.history.append(state.best_fitness)
+        if tele.enabled():
+            tele.event(
+                "ga.generation",
+                generation=state.generation,
+                best=state.best_fitness,
+                generation_best=gen_best,
+                mean=float(scores.mean()),
+                mutated_genes=int(mutate.sum()),
+                crossovers=int(do_cross.sum()),
+                stale=state.stale,
+            )
+        return state
+
+    def done(
+        self, state: GaState, generations: int, patience: Optional[int]
+    ) -> bool:
+        """True when the generation budget or patience is exhausted."""
+        if state.generation >= generations:
+            return True
+        return patience is not None and state.stale >= patience
+
+    def result(self, state: GaState) -> GaResult:
+        """Freeze a state into the :class:`GaResult` callers consume."""
         return GaResult(
-            best_configuration=self.space.decode(best_vec),
-            best_fitness=best_fit,
-            history=tuple(history),
-            generations=len(history) - 1,
+            best_configuration=self.space.decode(state.best_vec),
+            best_fitness=state.best_fitness,
+            history=tuple(state.history),
+            generations=state.generation,
         )
 
     # ------------------------------------------------------------------

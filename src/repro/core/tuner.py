@@ -27,7 +27,7 @@ import numpy as np
 from repro.common.rng import derive_rng
 from repro.common.space import Configuration, ConfigurationSpace
 from repro.core.collecting import Collector, TrainingSet
-from repro.core.ga import GaResult, GeneticAlgorithm
+from repro.core.ga import GaResult, GaState, GeneticAlgorithm
 from repro.engine import EngineStats, ExecutionBackend
 from repro.models.hierarchical import HierarchicalModel
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
@@ -118,8 +118,38 @@ class DacTuner:
         self._collect_hours = self.collector.simulated_hours(self.training_set)
         return self.training_set
 
-    def fit(self, training_set: Optional[TrainingSet] = None) -> HierarchicalModel:
-        """Train the HM performance model on the collected set."""
+    def restore(
+        self,
+        training_set: TrainingSet,
+        model: Optional[HierarchicalModel] = None,
+        collect_hours: float = 0.0,
+    ) -> "DacTuner":
+        """Rehydrate from persisted artifacts instead of re-collecting.
+
+        The job service uses this to rebuild a tuner from a
+        :class:`~repro.store.RunStore`'s training set and (optionally)
+        fitted model when resuming a checkpointed run.
+        """
+        self.training_set = training_set
+        if model is not None:
+            self.model = model
+        self._collect_hours = collect_hours
+        return self
+
+    def fit(
+        self,
+        training_set: Optional[TrainingSet] = None,
+        checkpoint=None,
+        resume_model: Optional[HierarchicalModel] = None,
+    ) -> HierarchicalModel:
+        """Train the HM performance model on the collected set.
+
+        ``checkpoint`` is forwarded to
+        :meth:`HierarchicalModel.fit` (called with the partial model
+        after each order); ``resume_model`` continues a
+        partially-fitted model instead of starting a fresh one — both
+        are the job service's crash-recovery hooks.
+        """
         if training_set is not None:
             self.training_set = training_set
         if self.training_set is None:
@@ -132,14 +162,20 @@ class DacTuner:
             examples=len(self.training_set),
             n_trees=self.n_trees,
         ) as span:
-            self.model = HierarchicalModel(
-                n_trees=self.n_trees,
-                learning_rate=self.learning_rate,
-                tree_complexity=self.tree_complexity,
-                target_accuracy=self.target_accuracy,
-                random_state=self.seed,
-            )
-            self.model.fit(self.training_set.features(), self.training_set.log_times())
+            features = self.training_set.features()
+            log_times = self.training_set.log_times()
+            if resume_model is not None:
+                self.model = resume_model
+                self.model.resume_fit(features, log_times, checkpoint=checkpoint)
+            else:
+                self.model = HierarchicalModel(
+                    n_trees=self.n_trees,
+                    learning_rate=self.learning_rate,
+                    tree_complexity=self.tree_complexity,
+                    target_accuracy=self.target_accuracy,
+                    random_state=self.seed,
+                )
+                self.model.fit(features, log_times, checkpoint=checkpoint)
             span.note(holdout_error=float(self.model.holdout_error_))
         self._modeling_seconds = time.perf_counter() - start
         return self.model
@@ -152,24 +188,41 @@ class DacTuner:
         row = self.training_set.feature_row(config, job_bytes)
         return float(np.exp(self.model.predict(row[None, :])[0]))
 
+    def fitness_for(self, datasize: float):
+        """The GA objective for one target size: model-predicted seconds."""
+        self._require_model()
+        assert self.training_set is not None and self.model is not None
+        job_bytes = self.workload.bytes_for(datasize)
+        size_feature = job_bytes / self.training_set.size_scale
+        model = self.model
+
+        def fitness(pop: np.ndarray) -> np.ndarray:
+            rows = np.column_stack([pop, np.full(len(pop), size_feature)])
+            return np.exp(model.predict(rows))
+
+        return fitness
+
     def tune(
         self,
         datasize: float,
         generations: int = 100,
         population_size: int = 60,
         patience: Optional[int] = 25,
+        ga_state: Optional[GaState] = None,
+        on_generation=None,
     ) -> TuningReport:
-        """Search the optimal configuration for one target input size."""
+        """Search the optimal configuration for one target input size.
+
+        ``on_generation``, if given, is called with the live
+        :class:`~repro.core.ga.GaState` after the initial evaluation and
+        after every generation; ``ga_state`` resumes a search from a
+        previously-persisted state instead of starting fresh (the
+        state's pickled RNG continues its stream, so a resumed search
+        equals an uninterrupted one).
+        """
         self._require_model()
         assert self.training_set is not None and self.model is not None
-        job_bytes = self.workload.bytes_for(datasize)
-        size_feature = job_bytes / self.training_set.size_scale
-
-        model = self.model
-
-        def fitness(pop: np.ndarray) -> np.ndarray:
-            rows = np.column_stack([pop, np.full(len(pop), size_feature)])
-            return np.exp(model.predict(rows))
+        fitness = self.fitness_for(datasize)
 
         # Step 2 of Figure 6: seed the population with collected
         # configurations (time column dropped).
@@ -187,10 +240,16 @@ class DacTuner:
             datasize=datasize,
             generations=generations,
         ) as span:
-            result = ga.minimize(
-                fitness, rng, generations=generations, seed_vectors=seeds,
-                patience=patience,
-            )
+            state = ga_state
+            if state is None:
+                state = ga.start(fitness, rng, seed_vectors=seeds)
+                if on_generation is not None:
+                    on_generation(state)
+            while not ga.done(state, generations, patience):
+                ga.step(state, fitness)
+                if on_generation is not None:
+                    on_generation(state)
+            result = ga.result(state)
             span.note(
                 best_fitness=float(result.best_fitness),
                 converged_at=result.converged_at,

@@ -30,6 +30,12 @@ from repro.engine.stats import EngineStats
 from repro.sparksim.simulator import RunResult
 from repro.telemetry.metrics import get_registry
 
+#: First bytes of every on-disk cache entry.  The tag names the format
+#: (magic) and its version; bumping the digit orphans every entry written
+#: under the old layout — they read back as misses and are rewritten —
+#: which is how stale pickle formats are invalidated without a migration.
+CACHE_FORMAT = b"repro-cache/1\n"
+
 
 def request_key(request: ExecRequest, substrate_signature: str) -> str:
     """Canonical cache key of a (substrate, program, config, datasize) tuple."""
@@ -149,17 +155,31 @@ class CachedBackend(ExecutionBackend):
         if self.directory is None:
             return None
         path = self.directory / f"{key}.pkl"
-        if not path.exists():
+        try:
+            blob = path.read_bytes()
+        except OSError:  # absent (or unreadable): miss
+            return None
+        if not blob.startswith(CACHE_FORMAT):
+            self._evict(path)  # stale format or foreign file: rewrite it
             return None
         try:
-            with path.open("rb") as handle:
-                run = pickle.load(handle)
-        except Exception:  # corrupt/partial entry: treat as a miss
+            run = pickle.loads(blob[len(CACHE_FORMAT) :])
+        except Exception:  # truncated/corrupt entry: miss + overwrite
+            self._evict(path)
             return None
         if not isinstance(run, RunResult):
+            self._evict(path)
             return None
         self._memory[key] = run
         return run
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Best-effort removal of a bad entry so the rewrite is clean."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
 
     def _store(self, key: str, run: RunResult) -> None:
         self._memory[key] = run
@@ -169,7 +189,8 @@ class CachedBackend(ExecutionBackend):
         tmp = self.directory / f".{key}.{os.getpid()}.tmp"
         try:
             with tmp.open("wb") as handle:
-                pickle.dump(run, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(CACHE_FORMAT)
+                handle.write(pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL))
             tmp.replace(path)
         except OSError:  # read-only/full disk: memory layer still works
             tmp.unlink(missing_ok=True)

@@ -8,7 +8,12 @@ across sessions and tuned configurations are directly usable on a real
 cluster.
 """
 
-from repro.io.csvsets import load_training_set, save_training_set
+from repro.io.csvsets import (
+    dumps_training_set,
+    load_training_set,
+    loads_training_set,
+    save_training_set,
+)
 from repro.io.sparkconf_file import (
     format_spark_submit,
     load_spark_conf,
@@ -16,9 +21,11 @@ from repro.io.sparkconf_file import (
 )
 
 __all__ = [
+    "dumps_training_set",
     "format_spark_submit",
     "load_spark_conf",
     "load_training_set",
+    "loads_training_set",
     "save_spark_conf",
     "save_training_set",
 ]

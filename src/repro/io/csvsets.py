@@ -9,6 +9,7 @@ remain valid if the column order ever changes.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import List, Union
 
@@ -18,22 +19,27 @@ from repro.core.collecting import PerformanceVector, TrainingSet
 _META_COLUMNS = ("t_seconds", "dsize", "dsize_bytes")
 
 
+def dumps_training_set(training_set: TrainingSet) -> str:
+    """Serialize a training set to CSV text (no filesystem round trip)."""
+    space = training_set.space
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow([*_META_COLUMNS, *space.names])
+    for v in training_set.vectors:
+        writer.writerow(
+            [
+                repr(v.seconds),
+                repr(v.datasize),
+                repr(v.datasize_bytes),
+                *[_serialize(v.configuration[name]) for name in space.names],
+            ]
+        )
+    return buffer.getvalue()
+
+
 def save_training_set(training_set: TrainingSet, path: Union[str, Path]) -> None:
     """Write a training set to ``path`` as CSV."""
-    path = Path(path)
-    space = training_set.space
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow([*_META_COLUMNS, *space.names])
-        for v in training_set.vectors:
-            writer.writerow(
-                [
-                    repr(v.seconds),
-                    repr(v.datasize),
-                    repr(v.datasize_bytes),
-                    *[_serialize(v.configuration[name]) for name in space.names],
-                ]
-            )
+    Path(path).write_text(dumps_training_set(training_set), newline="")
 
 
 def load_training_set(
@@ -46,6 +52,15 @@ def load_training_set(
     """
     path = Path(path)
     with path.open(newline="") as handle:
+        return loads_training_set(handle.read(), space, source=str(path))
+
+
+def loads_training_set(
+    text: str, space: ConfigurationSpace, source: str = "<training set>"
+) -> TrainingSet:
+    """Parse CSV text produced by :func:`dumps_training_set`."""
+    path = source  # error messages name the caller's source
+    with io.StringIO(text, newline="") as handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)

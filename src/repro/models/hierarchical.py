@@ -81,30 +81,76 @@ class HierarchicalModel:
         self.holdout_error_: float = np.inf
 
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "HierarchicalModel":
-        """Fit on features ``X`` and log-time targets ``y``."""
+    def fit(self, X: np.ndarray, y: np.ndarray, checkpoint=None) -> "HierarchicalModel":
+        """Fit on features ``X`` and log-time targets ``y``.
+
+        ``checkpoint``, if given, is called with ``self`` after each
+        order completes (weights and holdout error updated) — the job
+        service persists the partially-fitted model there, and
+        :meth:`resume_fit` continues from whatever orders survived.
+        """
+        X, y = self._validate(X, y)
+        self._components = []
+        self.order_ = 0
+        self._weights = None
+        self.holdout_error_ = np.inf
+        return self._fit_orders(X, y, [], checkpoint)
+
+    def resume_fit(
+        self, X: np.ndarray, y: np.ndarray, checkpoint=None
+    ) -> "HierarchicalModel":
+        """Continue a partially-completed :meth:`fit` on the same data.
+
+        The holdout split is a pure function of ``random_state`` and
+        ``len(X)``, and each order's component is seeded independently,
+        so refitting only the missing orders yields the same model an
+        uninterrupted :meth:`fit` would have produced.
+        """
+        if not self._components:
+            return self.fit(X, y, checkpoint=checkpoint)
+        X, y = self._validate(X, y)
+        _, _, X_val, _, _ = self._split(X, y)
+        preds = [c.predict(X_val) for c in self._components]
+        return self._fit_orders(X, y, preds, checkpoint)
+
+    # ------------------------------------------------------------------
+    def _validate(self, X: np.ndarray, y: np.ndarray):
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
         if len(X) != len(y):
             raise ValueError("X and y length mismatch")
         if len(X) < 8:
             raise ValueError("need at least 8 samples")
-        rng = np.random.default_rng(self.random_state)
+        return X, y
 
-        # HM's own holdout, used both to weight components and to decide
-        # whether another order is needed.
+    def _split(self, X: np.ndarray, y: np.ndarray):
+        """HM's own holdout, used both to weight components and to decide
+        whether another order is needed (deterministic in random_state)."""
+        rng = np.random.default_rng(self.random_state)
         n_val = max(2, int(round(len(X) * self.validation_fraction)))
         order_idx = rng.permutation(len(X))
         val_idx, train_idx = order_idx[:n_val], order_idx[n_val:]
-        X_train, y_train = X[train_idx], y[train_idx]
-        X_val, y_val = X[val_idx], y[val_idx]
-        measured_val = np.exp(y_val)
+        return X[train_idx], y[train_idx], X[val_idx], y[val_idx], np.exp(y[val_idx])
 
-        self._components = []
-        component_val_preds: List[np.ndarray] = []
-        self.order_ = 0
+    def _fit_orders(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        component_val_preds: List[np.ndarray],
+        checkpoint,
+    ) -> "HierarchicalModel":
+        X_train, y_train, X_val, y_val, measured_val = self._split(X, y)
 
-        for order in range(1, self.max_order + 1):
+        # A resumed model may already satisfy the stopping criterion.
+        if component_val_preds:
+            self.order_ = len(self._components)
+            self._weights = self._combine(component_val_preds, y_val)
+            blended = self._blend(component_val_preds)
+            self.holdout_error_ = mean_relative_error(np.exp(blended), measured_val)
+            if (1.0 - self.holdout_error_) >= self.target_accuracy:
+                return self
+
+        for order in range(len(self._components) + 1, self.max_order + 1):
             component = self._build_component(order)
             component.fit(X_train, y_train)
             self._components.append(component)
@@ -123,6 +169,8 @@ class HierarchicalModel:
                     weights=[float(w) for w in self._weights],
                     target_accuracy=self.target_accuracy,
                 )
+            if checkpoint is not None:
+                checkpoint(self)
             if (1.0 - self.holdout_error_) >= self.target_accuracy:
                 break
         return self

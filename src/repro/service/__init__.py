@@ -1,0 +1,47 @@
+"""The serving layer: resumable tuning jobs behind a scheduler.
+
+Built on :mod:`repro.store`'s crash-safe artifact store, this package
+turns one-shot tuner invocations into durable *jobs*:
+
+* :mod:`repro.service.jobs` — the job data model
+  (:class:`TuneRequest`, :class:`JobRecord`, states, phases);
+* :mod:`repro.service.budget` — per-job substrate-run budgets
+  (:class:`BudgetedBackend`, :class:`BudgetExceeded`);
+* :mod:`repro.service.runner` — :class:`JobRunner`, executing one job
+  through checkpointable phases (collect per batch, fit per order,
+  search per generation) with a durable checkpoint after each unit;
+* :mod:`repro.service.scheduler` — :class:`JobService`, the
+  priority/FIFO queue, admission control and bounded worker pool.
+
+The CLI front end is ``repro jobs submit|list|status|run|resume|cancel``.
+"""
+
+from repro.service.budget import BudgetedBackend, BudgetExceeded
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PHASES,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    TuneRequest,
+)
+from repro.service.runner import JobRunner
+from repro.service.scheduler import AdmissionError, JobService
+
+__all__ = [
+    "AdmissionError",
+    "BudgetedBackend",
+    "BudgetExceeded",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "JobRunner",
+    "JobService",
+    "PHASES",
+    "QUEUED",
+    "RUNNING",
+    "TuneRequest",
+]

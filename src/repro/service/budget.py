@@ -1,0 +1,62 @@
+"""Per-job substrate-run budgets (admission control's second half).
+
+A tuning job's dominant cost is substrate executions (Table 3); the
+scheduler caps how many a single job may perform per session by
+wrapping its engine in :class:`BudgetedBackend`.  Cache hits are free —
+only requests the inner backend actually executed count — and the
+check runs *between* batches, so a batch in flight always completes
+and lands in a checkpoint before the job is stopped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engine import ExecResult, ExecutionBackend
+from repro.engine.request import ExecOutcome, ExecRequest
+from repro.engine.stats import EngineStats
+
+
+class BudgetExceeded(RuntimeError):
+    """The job used up its substrate-run budget; checkpoint retained."""
+
+    def __init__(self, executed: int, budget: int):
+        self.executed = executed
+        self.budget = budget
+        super().__init__(
+            f"substrate-run budget exhausted ({executed} executed, "
+            f"budget {budget}); resume with a higher budget to continue"
+        )
+
+
+class BudgetedBackend(ExecutionBackend):
+    """Decorator refusing new batches once the budget is spent."""
+
+    name = "budgeted"
+
+    def __init__(self, inner: ExecutionBackend, budget: Optional[int]):
+        super().__init__()
+        self.inner = inner
+        self.budget = budget
+        self.executed = 0
+
+    def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
+        if self.budget is not None and self.executed >= self.budget:
+            raise BudgetExceeded(self.executed, self.budget)
+        outcomes = self.inner.submit(requests)
+        self.executed += sum(
+            1
+            for outcome in outcomes
+            if not (isinstance(outcome, ExecResult) and outcome.cache_hit)
+        )
+        return outcomes
+
+    def signature(self) -> str:
+        return self.inner.signature()
+
+    @property
+    def stats(self) -> EngineStats:
+        return self.inner.stats
+
+    def close(self) -> None:
+        self.inner.close()

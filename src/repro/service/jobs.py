@@ -1,0 +1,174 @@
+"""Job records: what a tuning request is and where it stands.
+
+A job is one run of the DAC pipeline (or its collect-only prefix)
+decomposed into checkpointable phases.  The record is plain data — it
+round-trips through JSON into the store's ``jobs/`` directory — so any
+process can read where a job stands and pick it up.
+
+Lifecycle::
+
+    queued -> running -> done
+                |    \\-> failed      (error recorded; checkpoint kept,
+                |                      resumable)
+                \\-> cancelled
+
+A SIGKILL'd job still reads ``running``; :meth:`JobRecord.resumable`
+treats it like ``failed`` — the checkpoint decides where work restarts,
+not the label the dying process never got to update.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+#: Job states (plain strings so records stay JSON-native).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Phase order of a tune job; a collect job stops after "collect".
+PHASES = ("collect", "fit", "search", "report")
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """Everything needed to (re)run one job deterministically."""
+
+    program: str
+    size: float = 0.0
+    kind: str = "tune"  # "tune" | "collect"
+    n_train: int = 600
+    n_trees: int = 250
+    learning_rate: float = 0.1
+    generations: int = 100
+    population_size: int = 60
+    patience: Optional[int] = 25
+    seed: int = 0
+    #: Reuse a prior job's stored training set (and model when the
+    #: modeling parameters match) instead of re-collecting.
+    warm_from: Optional[str] = None
+    #: Max substrate executions this job may perform per session
+    #: (None = unlimited); exceeding it fails the job, checkpoint kept.
+    budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tune", "collect"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "tune" and self.size <= 0:
+            raise ValueError("tune jobs need a positive target size")
+        if self.n_train < 1:
+            raise ValueError("n_train must be positive")
+        if self.budget is not None and self.budget < 1:
+            raise ValueError("budget must be positive when given")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneRequest":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def model_params_match(self, other: "TuneRequest") -> bool:
+        """True when a model fitted for ``other`` is this request's model."""
+        return (
+            self.program == other.program
+            and self.n_train == other.n_train
+            and self.n_trees == other.n_trees
+            and self.learning_rate == other.learning_rate
+            and self.seed == other.seed
+        )
+
+
+@dataclass
+class JobRecord:
+    """The durable state of one job (JSON round-trip)."""
+
+    job_id: str
+    request: TuneRequest
+    state: str = QUEUED
+    phase: str = "collect"
+    #: Per-phase progress, updated at every checkpoint; e.g.
+    #: ``{"collect": {"batches_done": 3, "total_batches": 10, "done": false}}``.
+    progress: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    created: float = field(default_factory=time.time)
+    updated: float = field(default_factory=time.time)
+    #: How many times a runner picked this job up (1 = never interrupted).
+    sessions: int = 0
+    #: Substrate executions per session, e.g. ``{"1": 60, "2": 12}`` —
+    #: the resume-efficiency evidence (session 2 < starting over).
+    runs_by_session: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: Summary of the finished run (predicted seconds, fingerprint, ...).
+    result: Optional[Dict[str, Any]] = None
+    #: Cumulative wall seconds spent writing checkpoints + this record —
+    #: the store's overhead, bounded by ``benchmarks/bench_store.py``.
+    checkpoint_wall_seconds: float = 0.0
+
+    @classmethod
+    def new(cls, request: TuneRequest, priority: int = 0) -> "JobRecord":
+        job_id = f"{request.program.lower()}-{uuid.uuid4().hex[:8]}"
+        return cls(job_id=job_id, request=request, priority=priority)
+
+    # -- state sugar ----------------------------------------------------
+    @property
+    def resumable(self) -> bool:
+        """Queued, failed, or found mid-run (crashed process) — runnable."""
+        return self.state in (QUEUED, RUNNING, FAILED)
+
+    @property
+    def active(self) -> bool:
+        return self.state in (QUEUED, RUNNING)
+
+    def touch(self) -> None:
+        self.updated = time.time()
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["request"] = self.request.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        request = TuneRequest.from_dict(dict(data.get("request", {})))
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        fields = {k: v for k, v in data.items() if k in known and k != "request"}
+        return cls(request=request, **fields)
+
+    # -- artifact keys --------------------------------------------------
+    def artifact_key(self, name: str) -> str:
+        """Store key of one of this job's artifacts (training/model/ga/report)."""
+        return f"jobs/{self.job_id}/{name}"
+
+    def summary_row(self) -> List[str]:
+        """Columns for ``repro jobs list``."""
+        request = self.request
+        target = (
+            f"{request.size:g}" if request.kind == "tune" else f"x{request.n_train}"
+        )
+        done = self.progress.get(self.phase, {})
+        detail = ""
+        if self.state == DONE and self.result:
+            detail = f"predicted {self.result.get('predicted_seconds', 0):.0f}s"
+        elif self.phase == "collect" and done:
+            detail = f"{done.get('batches_done', 0)}/{done.get('total_batches', '?')} batches"
+        elif self.phase == "search" and done:
+            detail = f"gen {done.get('generation', 0)}"
+        elif self.error:
+            detail = self.error[:40]
+        return [
+            self.job_id,
+            request.kind,
+            request.program,
+            target,
+            self.state,
+            self.phase,
+            detail,
+        ]

@@ -1,0 +1,443 @@
+"""The job runner: one job, executed through checkpointable phases.
+
+:class:`JobRunner` drives a :class:`~repro.service.jobs.JobRecord`
+through the DAC pipeline against a :class:`~repro.store.RunStore`,
+persisting a durable checkpoint after every unit of work:
+
+* **collect** — the batch plan is a pure function of (workload, seed,
+  stream), so after each per-size batch the vectors gathered so far are
+  stored and ``batches_done`` advances; a restart replans and skips the
+  finished prefix.
+* **fit** — the partial :class:`HierarchicalModel` is stored after each
+  order; a restart continues from the next order
+  (:meth:`HierarchicalModel.resume_fit`).
+* **search** — the live :class:`~repro.core.ga.GaState` (population,
+  scores, history, *and the RNG mid-stream*) is pickled every
+  generation; a restart continues the exact random sequence.
+
+Because every stochastic draw in the pipeline is derived from stable
+keys, a resumed job's :class:`~repro.core.tuner.TuningReport` carries
+the same :func:`~repro.store.report_fingerprint` as an uninterrupted
+run — crash recovery changes the cost of a run, never its answer.
+
+Each session appends to the job's JSONL event log in the store, so
+``repro trace`` (and ``--follow``) works across interruptions, and
+records its substrate-execution count in ``runs_by_session`` — the
+direct evidence that resuming cost strictly less than starting over.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Callable, List, Optional
+
+from repro.core.collecting import Collector, PerformanceVector, TrainingSet
+from repro.core.tuner import DacTuner, TuningReport
+from repro.engine import (
+    CachedBackend,
+    ExecutionBackend,
+    ExecutionError,
+    InProcessBackend,
+)
+from repro.service.budget import BudgetedBackend, BudgetExceeded
+from repro.service.jobs import DONE, FAILED, RUNNING, JobRecord, TuneRequest
+from repro.store import RunStore, report_fingerprint
+from repro.telemetry import events as tele
+from repro.telemetry.events import Telemetry
+from repro.telemetry.sinks import JsonlSink
+from repro.workloads import get_workload
+
+
+class JobRunner:
+    """Executes one job at a time against a store, checkpointing as it goes.
+
+    Parameters
+    ----------
+    store:
+        The :class:`RunStore` holding job records, artifacts, event logs
+        and the shared substrate-result cache.
+    engine_factory:
+        Builds the substrate backend for each job session (default: a
+        fresh :class:`InProcessBackend`).  The runner wraps it with the
+        store's :class:`CachedBackend` (unless ``use_cache=False``) and,
+        when the request carries a budget, a :class:`BudgetedBackend`.
+    use_cache:
+        Share substrate results across jobs/sessions through the
+        store's ``cache/`` directory.  Crash-recovery tests disable it
+        to prove resumption comes from checkpoints, not cached runs.
+    checkpoint_every:
+        Persist the GA state every N generations (1 = every
+        generation).  Collect and fit checkpoint at their natural
+        granularity regardless.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        engine_factory: Optional[Callable[[], ExecutionBackend]] = None,
+        use_cache: bool = True,
+        checkpoint_every: int = 1,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        self.store = store
+        self.engine_factory = engine_factory or InProcessBackend
+        self.use_cache = use_cache
+        self.checkpoint_every = checkpoint_every
+
+    # ------------------------------------------------------------------
+    def run(self, record: JobRecord) -> JobRecord:
+        """Run ``record`` to completion (or failure), checkpointing.
+
+        Safe to call on a fresh job or on one found mid-flight after a
+        crash: every phase first reads its own durable progress.
+        """
+        record.state = RUNNING
+        record.sessions += 1
+        session = str(record.sessions)
+        record.runs_by_session.setdefault(session, 0)
+        self._save(record, engine=None, session=session)
+
+        engine = self._build_engine(record)
+        try:
+            with engine, self._job_telemetry(record.job_id):
+                with tele.span(
+                    "job",
+                    job_id=record.job_id,
+                    kind=record.request.kind,
+                    session=record.sessions,
+                ):
+                    self._execute(record, engine, session)
+        except BudgetExceeded as exc:
+            record.state = FAILED
+            record.error = str(exc)
+        except ExecutionError as exc:
+            record.state = FAILED
+            record.error = f"substrate failure: {exc}"
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            record.state = FAILED
+            record.error = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+        finally:
+            self._save(record, engine, session)
+        return record
+
+    # ------------------------------------------------------------------
+    def _execute(self, record: JobRecord, engine: ExecutionBackend, session: str) -> None:
+        request = record.request
+        training = self._phase_collect(record, engine, session)
+        if request.kind == "collect":
+            record.state = DONE
+            record.result = {
+                "examples": len(training),
+                "training_key": record.artifact_key("training"),
+                "simulated_hours": self._hours(training),
+            }
+            return
+
+        workload = get_workload(request.program)
+        tuner = DacTuner(
+            workload,
+            n_train=request.n_train,
+            n_trees=request.n_trees,
+            learning_rate=request.learning_rate,
+            seed=request.seed,
+            engine=engine,
+        )
+        tuner.restore(training, collect_hours=self._hours(training))
+
+        record.phase = "fit"
+        self._phase_fit(record, tuner, engine, session)
+        record.phase = "search"
+        report = self._phase_search(record, tuner, engine, session)
+        record.phase = "report"
+
+        self._checkpoint(
+            record,
+            engine,
+            session,
+            lambda: self.store.put_report(record.artifact_key("report"), report),
+        )
+        record.state = DONE
+        record.result = {
+            "predicted_seconds": float(report.predicted_seconds),
+            "fingerprint": report_fingerprint(report),
+            "model_holdout_error": float(report.model_holdout_error),
+            "ga_generations": report.ga.generations,
+            "report_key": record.artifact_key("report"),
+        }
+
+    # -- phase: collect -------------------------------------------------
+    def _phase_collect(
+        self, record: JobRecord, engine: ExecutionBackend, session: str
+    ) -> TrainingSet:
+        store = self.store
+        request = record.request
+        progress = record.progress.setdefault("collect", {})
+        key = record.artifact_key("training")
+
+        if progress.get("done"):
+            training = store.get_training_set(key)
+            if training is not None and len(training) == request.n_train:
+                return training
+            progress.clear()  # artifact lost/torn: re-collect
+
+        if request.warm_from and not progress.get("batches_done"):
+            training = self._warm_training(request)
+            if training is not None:
+                store.put_training_set(key, training)
+                progress.update(
+                    {"done": True, "warm_from": request.warm_from}
+                )
+                self._save(record, engine, session)
+                tele.event(
+                    "job.warm_start",
+                    job_id=record.job_id,
+                    source=request.warm_from,
+                    artifact="training_set",
+                )
+                return training
+
+        workload = get_workload(request.program)
+        collector = Collector(workload, seed=request.seed, engine=engine)
+        batches = collector.plan(request.n_train, stream="train")
+        progress["total_batches"] = len(batches)
+
+        vectors: List[PerformanceVector] = []
+        batches_done = int(progress.get("batches_done", 0))
+        if batches_done:
+            partial = store.get_training_set(key)
+            expected = sum(len(b.requests) for b in batches[:batches_done])
+            if partial is not None and len(partial) == expected:
+                vectors = list(partial.vectors)
+            else:  # checkpoint missing or from different parameters
+                batches_done = 0
+                progress["batches_done"] = 0
+
+        with tele.span(
+            "collect",
+            program=workload.abbr,
+            examples=request.n_train,
+            stream="train",
+            resumed=batches_done > 0,
+        ):
+            for batch in batches[batches_done:]:
+                vectors.extend(
+                    collector.run_batch(
+                        batch, done=len(vectors), total=request.n_train
+                    )
+                )
+                partial_set = TrainingSet(collector.space, vectors)
+
+                def persist(ts=partial_set, done=batch.index + 1):
+                    store.put_training_set(key, ts)
+                    progress["batches_done"] = done
+
+                self._checkpoint(record, engine, session, persist)
+
+        progress["done"] = True
+        self._save(record, engine, session)
+        return TrainingSet(collector.space, vectors)
+
+    def _warm_training(self, request: TuneRequest) -> Optional[TrainingSet]:
+        """A prior job's complete training set, when it fits this request."""
+        prior = self._load_record(request.warm_from)
+        if prior is None or not prior.progress.get("collect", {}).get("done"):
+            return None
+        if (
+            prior.request.program != request.program
+            or prior.request.seed != request.seed
+            or prior.request.n_train != request.n_train
+        ):
+            return None
+        return self.store.get_training_set(prior.artifact_key("training"))
+
+    # -- phase: fit -----------------------------------------------------
+    def _phase_fit(
+        self,
+        record: JobRecord,
+        tuner: DacTuner,
+        engine: ExecutionBackend,
+        session: str,
+    ) -> None:
+        store = self.store
+        request = record.request
+        progress = record.progress.setdefault("fit", {})
+        key = record.artifact_key("model")
+
+        if progress.get("done"):
+            model = store.get_model(key)
+            if model is not None:
+                tuner.model = model
+                return
+            progress.clear()  # artifact lost/torn: refit
+
+        if request.warm_from and not progress.get("orders_done"):
+            model = self._warm_model(request)
+            if model is not None:
+                store.put_model(key, model)
+                progress.update({"done": True, "warm_from": request.warm_from})
+                self._save(record, engine, session)
+                tele.event(
+                    "job.warm_start",
+                    job_id=record.job_id,
+                    source=request.warm_from,
+                    artifact="model",
+                )
+                tuner.model = model
+                return
+
+        partial = store.get_model(key) if progress.get("orders_done") else None
+
+        def checkpoint(model):
+            def persist():
+                store.put_model(key, model)
+                progress["orders_done"] = model.order_
+
+            self._checkpoint(record, engine, session, persist)
+
+        tuner.fit(checkpoint=checkpoint, resume_model=partial)
+        progress["done"] = True
+
+        def persist_final():
+            store.put_model(key, tuner.model)
+
+        self._checkpoint(record, engine, session, persist_final)
+
+    def _warm_model(self, request: TuneRequest) -> Optional[object]:
+        """A prior job's finished model, when the model parameters match."""
+        prior = self._load_record(request.warm_from)
+        if prior is None or not prior.progress.get("fit", {}).get("done"):
+            return None
+        if not request.model_params_match(prior.request):
+            return None
+        return self.store.get_model(prior.artifact_key("model"))
+
+    # -- phase: search --------------------------------------------------
+    def _phase_search(
+        self,
+        record: JobRecord,
+        tuner: DacTuner,
+        engine: ExecutionBackend,
+        session: str,
+    ) -> TuningReport:
+        store = self.store
+        request = record.request
+        progress = record.progress.setdefault("search", {})
+        key = record.artifact_key("ga")
+
+        state = None
+        if progress.get("generation") is not None:
+            state = store.get_ga_state(key)
+
+        def on_generation(live_state):
+            generation = live_state.generation
+            if generation % self.checkpoint_every and generation:
+                return
+
+            def persist():
+                store.put_ga_state(key, live_state)
+                progress["generation"] = generation
+
+            self._checkpoint(record, engine, session, persist)
+
+        report = tuner.tune(
+            request.size,
+            generations=request.generations,
+            population_size=request.population_size,
+            patience=request.patience,
+            ga_state=state,
+            on_generation=on_generation,
+        )
+        progress["done"] = True
+        progress["generation"] = report.ga.generations
+        return report
+
+    # -- engine / telemetry / persistence helpers -----------------------
+    def _build_engine(self, record: JobRecord) -> ExecutionBackend:
+        engine = self.engine_factory()
+        if self.use_cache:
+            engine = CachedBackend(engine, directory=self.store.cache_dir)
+        if record.request.budget is not None:
+            engine = BudgetedBackend(engine, record.request.budget)
+        return engine
+
+    @contextmanager
+    def _job_telemetry(self, job_id: str):
+        """Route this job's events into its per-store JSONL log.
+
+        If a global telemetry pipeline is active (the CLI's
+        ``--telemetry``), the job log taps it as an extra sink; else a
+        dedicated pipeline is installed for the duration.  Either way
+        the log is appended and flushed per record, so every session of
+        a resumed job lands in one file that ``repro trace --follow``
+        can tail live.
+        """
+        sink = JsonlSink(
+            self.store.event_log_path(job_id), append=True, live=True
+        )
+        active = tele.get_telemetry()
+        if active is not None:
+            active.add_sink(sink)
+            try:
+                yield
+            finally:
+                active.remove_sink(sink)
+                sink.close()
+        else:
+            session = Telemetry([sink])
+            previous = tele.install(session)
+            try:
+                yield
+            finally:
+                tele.install(previous)
+                session.close()
+
+    def _load_record(self, job_id: Optional[str]) -> Optional[JobRecord]:
+        if not job_id:
+            return None
+        data = self.store.load_job(job_id)
+        if data is None:
+            return None
+        try:
+            return JobRecord.from_dict(data)
+        except (TypeError, ValueError):
+            return None
+
+    def _checkpoint(
+        self,
+        record: JobRecord,
+        engine: Optional[ExecutionBackend],
+        session: str,
+        persist: Callable[[], None],
+    ) -> None:
+        """Run one artifact write + record save, timing the overhead.
+
+        The accumulated ``checkpoint_wall_seconds`` is what
+        ``benchmarks/bench_store.py`` reads to bound store overhead.
+        """
+        start = time.perf_counter()
+        persist()
+        self._save(record, engine, session, wall_start=start)
+
+    def _save(
+        self,
+        record: JobRecord,
+        engine: Optional[ExecutionBackend],
+        session: str,
+        wall_start: Optional[float] = None,
+    ) -> None:
+        start = time.perf_counter() if wall_start is None else wall_start
+        if engine is not None:
+            stats = engine.stats
+            record.runs_by_session[session] = int(stats.runs - stats.cache_hits)
+        record.touch()
+        self.store.save_job(record.job_id, record.to_dict())
+        record.checkpoint_wall_seconds += time.perf_counter() - start
+
+    @staticmethod
+    def _hours(training: TrainingSet) -> float:
+        return float(sum(v.seconds for v in training.vectors) / 3600.0)

@@ -1,0 +1,148 @@
+"""The job service: a durable queue of tuning jobs over a run store.
+
+:class:`JobService` is the front door of the serving layer.  It accepts
+:class:`~repro.service.jobs.TuneRequest`\\ s, persists them as queued
+:class:`~repro.service.jobs.JobRecord`\\ s, and drains the queue through
+a bounded worker pool of :class:`~repro.service.runner.JobRunner`\\ s —
+highest priority first, FIFO within a priority.  Admission control is
+two-sided: a cap on how many unfinished jobs the store may hold
+(:class:`AdmissionError` past it) and a default per-job substrate-run
+budget applied to requests that carry none.
+
+Everything durable lives in the store, so a service object is
+stateless: kill the process, construct a new service on the same
+directory, and ``resume()`` picks up every interrupted job from its
+last checkpoint.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.engine import ExecutionBackend
+from repro.service.jobs import CANCELLED, DONE, QUEUED, JobRecord, TuneRequest
+from repro.service.runner import JobRunner
+from repro.store import RunStore
+
+
+class AdmissionError(RuntimeError):
+    """The queue is full; the job was not admitted."""
+
+
+class JobService:
+    """Submit, schedule, resume and cancel tuning jobs on one store."""
+
+    def __init__(
+        self,
+        store: Union[RunStore, str, Path],
+        engine_factory: Optional[Callable[[], ExecutionBackend]] = None,
+        max_concurrent: int = 1,
+        max_queued: int = 32,
+        default_budget: Optional[int] = None,
+        use_cache: bool = True,
+        checkpoint_every: int = 1,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be positive")
+        if max_queued < 1:
+            raise ValueError("max_queued must be positive")
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.max_concurrent = max_concurrent
+        self.max_queued = max_queued
+        self.default_budget = default_budget
+        self.runner = JobRunner(
+            self.store,
+            engine_factory=engine_factory,
+            use_cache=use_cache,
+            checkpoint_every=checkpoint_every,
+        )
+
+    # -- queue ----------------------------------------------------------
+    def submit(self, request: TuneRequest, priority: int = 0) -> JobRecord:
+        """Admit a request as a queued job (durable before returning)."""
+        backlog = [job for job in self.jobs() if job.active]
+        if len(backlog) >= self.max_queued:
+            raise AdmissionError(
+                f"queue full ({len(backlog)} active jobs >= {self.max_queued})"
+            )
+        if request.budget is None and self.default_budget is not None:
+            request = replace(request, budget=self.default_budget)
+        record = JobRecord.new(request, priority=priority)
+        self.store.save_job(record.job_id, record.to_dict())
+        return record
+
+    def jobs(self) -> List[JobRecord]:
+        """Every readable job record in the store, oldest first."""
+        records = []
+        for data in self.store.list_jobs():
+            try:
+                records.append(JobRecord.from_dict(data))
+            except (TypeError, ValueError):
+                continue  # unreadable record: skip, never crash the service
+        return records
+
+    def pending(self) -> List[JobRecord]:
+        """Queued jobs in scheduling order (priority desc, then FIFO)."""
+        queue = [job for job in self.jobs() if job.state == QUEUED]
+        queue.sort(key=lambda job: (-job.priority, job.created, job.job_id))
+        return queue
+
+    def get(self, job_id: str) -> JobRecord:
+        data = self.store.load_job(job_id)
+        if data is None:
+            raise KeyError(f"no such job: {job_id}")
+        return JobRecord.from_dict(data)
+
+    # -- execution ------------------------------------------------------
+    def run_pending(self, max_jobs: Optional[int] = None) -> List[JobRecord]:
+        """Drain the queue through the worker pool; returns finished records."""
+        queue = self.pending()
+        if max_jobs is not None:
+            queue = queue[:max_jobs]
+        return self._run_all(queue)
+
+    def resume(self, job_id: str, budget: Optional[int] = None) -> JobRecord:
+        """Continue one interrupted job from its last durable checkpoint.
+
+        ``budget`` replaces the request's per-session substrate-run
+        budget — the escape hatch for a job that failed by exhausting
+        its previous one.
+        """
+        record = self.get(job_id)
+        if record.state == DONE:
+            return record
+        if record.state == CANCELLED:
+            raise ValueError(f"{job_id} is cancelled; submit a new job")
+        if budget is not None:
+            record.request = replace(record.request, budget=budget)
+        self.store.refresh()  # another process may have written checkpoints
+        return self.runner.run(record)
+
+    def resume_all(self) -> List[JobRecord]:
+        """Resume every resumable (queued/failed/crashed-running) job."""
+        self.store.refresh()
+        resumable = [job for job in self.jobs() if job.resumable]
+        resumable.sort(key=lambda job: (-job.priority, job.created, job.job_id))
+        return self._run_all(resumable)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Mark an unfinished job cancelled (its checkpoints remain)."""
+        record = self.get(job_id)
+        if record.state == DONE:
+            raise ValueError(f"{job_id} already finished")
+        record.state = CANCELLED
+        record.touch()
+        self.store.save_job(record.job_id, record.to_dict())
+        return record
+
+    # ------------------------------------------------------------------
+    def _run_all(self, records: List[JobRecord]) -> List[JobRecord]:
+        if not records:
+            return []
+        if self.max_concurrent == 1 or len(records) == 1:
+            return [self.runner.run(record) for record in records]
+        with ThreadPoolExecutor(max_workers=self.max_concurrent) as pool:
+            return list(pool.map(self.runner.run, records))

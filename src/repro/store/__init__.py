@@ -1,0 +1,43 @@
+"""Persistent, crash-safe storage for tuning runs.
+
+The serving substrate's durability layer: a directory-rooted,
+content-addressed experiment store holding every expensive artifact of
+the DAC pipeline (training sets, fitted models, GA populations,
+reports, telemetry event logs), each written atomically with a
+schema-versioned, digest-verified container so partially-written
+artifacts are detected and treated as absent.
+
+* :mod:`repro.store.artifacts` — the self-verifying artifact file
+  format (atomic tmp-file + rename, header + SHA-256 digest);
+* :mod:`repro.store.runstore` — :class:`RunStore`, the
+  content-addressed object store + append-only index + job records.
+
+:mod:`repro.service` builds the scheduler and checkpointing job runner
+on top of this package.
+"""
+
+from repro.store.artifacts import (
+    ArtifactError,
+    payload_digest,
+    read_artifact,
+    write_artifact,
+)
+from repro.store.runstore import (
+    KIND_SCHEMAS,
+    STORE_SCHEMA,
+    RunStore,
+    StoreError,
+    report_fingerprint,
+)
+
+__all__ = [
+    "ArtifactError",
+    "KIND_SCHEMAS",
+    "RunStore",
+    "STORE_SCHEMA",
+    "StoreError",
+    "payload_digest",
+    "read_artifact",
+    "report_fingerprint",
+    "write_artifact",
+]

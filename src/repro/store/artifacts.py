@@ -1,0 +1,119 @@
+"""The artifact container: one self-verifying file per stored object.
+
+Every artifact the :class:`~repro.store.RunStore` holds — training
+sets, fitted models, GA populations, reports — is written as a single
+file: a one-line JSON header (magic, kind, schema version, codec,
+payload size, SHA-256 digest) followed by the raw payload bytes.  The
+file is produced via a same-directory temp file and an atomic rename,
+and readers verify the header *and* the digest, so a crash at any
+instant leaves either the previous complete version or nothing — a
+partially-written artifact is detected and treated as absent, never
+returned as data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+#: First bytes of every artifact file; anything else is not an artifact.
+MAGIC = "repro-artifact"
+
+#: Container-format version (the header layout itself, not the payload
+#: schema — each artifact kind carries its own ``schema`` number).
+CONTAINER_VERSION = 1
+
+
+class ArtifactError(Exception):
+    """A file that is not a complete, intact artifact.
+
+    Raised on missing files, torn writes, digest mismatches and
+    stale container formats alike — callers treat all of them as
+    "the artifact is absent".
+    """
+
+
+def payload_digest(payload: bytes) -> str:
+    """Content address of a payload (hex SHA-256)."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def write_artifact(
+    path: Union[str, Path],
+    payload: bytes,
+    kind: str,
+    schema: int,
+    codec: str,
+    fsync: bool = False,
+) -> str:
+    """Atomically write ``payload`` as an artifact file; returns its digest.
+
+    The temp file lives in the destination directory so the final
+    ``rename`` is atomic on POSIX; with ``fsync`` the payload is forced
+    to stable storage before the rename (SIGKILL-safety never needs
+    this — only power loss does).
+    """
+    path = Path(path)
+    digest = payload_digest(payload)
+    header = {
+        "magic": MAGIC,
+        "container": CONTAINER_VERSION,
+        "kind": kind,
+        "schema": int(schema),
+        "codec": codec,
+        "size": len(payload),
+        "sha256": digest,
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return digest
+
+
+def read_artifact(path: Union[str, Path]) -> Tuple[Dict[str, object], bytes]:
+    """Read and verify an artifact; returns ``(header, payload)``.
+
+    Raises :class:`ArtifactError` on any defect — missing file, bad
+    header, truncated payload, digest mismatch, unknown container
+    version.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise ArtifactError(f"{path}: unreadable ({exc})") from exc
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise ArtifactError(f"{path}: no header line")
+    try:
+        header = json.loads(blob[:newline].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactError(f"{path}: bad header ({exc})") from exc
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise ArtifactError(f"{path}: not an artifact")
+    if header.get("container") != CONTAINER_VERSION:
+        raise ArtifactError(
+            f"{path}: container version {header.get('container')!r} "
+            f"!= {CONTAINER_VERSION}"
+        )
+    payload = blob[newline + 1 :]
+    if len(payload) != header.get("size"):
+        raise ArtifactError(
+            f"{path}: truncated ({len(payload)} of {header.get('size')} bytes)"
+        )
+    if payload_digest(payload) != header.get("sha256"):
+        raise ArtifactError(f"{path}: digest mismatch")
+    return header, payload

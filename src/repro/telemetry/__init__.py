@@ -56,6 +56,8 @@ from repro.telemetry.metrics import (
 from repro.telemetry.sinks import JsonlSink, RingBufferSink
 from repro.telemetry.trace import (
     EventLog,
+    follow_events,
+    format_record,
     read_event_log,
     render_timeline,
     render_trace_report,
@@ -75,6 +77,8 @@ __all__ = [
     "enable",
     "enabled",
     "event",
+    "follow_events",
+    "format_record",
     "get_logger",
     "get_registry",
     "get_telemetry",

@@ -94,6 +94,17 @@ class Telemetry:
     def span(self, name: str, **fields: object) -> "Span":
         return Span(self, name, fields)
 
+    def add_sink(self, sink: object) -> None:
+        """Attach a sink to a live session (job logs tap in this way)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: object) -> None:
+        """Detach a sink added with :meth:`add_sink` (does not close it)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
     @property
     def records(self) -> List[Dict[str, object]]:
         """Records retained by the ring sink ([] when none attached)."""

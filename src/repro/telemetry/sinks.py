@@ -54,12 +54,21 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Appends records to a JSONL event log (Spark's event-log analogue)."""
+    """Appends records to a JSONL event log (Spark's event-log analogue).
 
-    def __init__(self, path: Union[str, Path]):
+    ``append`` continues an existing log instead of truncating it — a
+    resumed job's sessions share one event file.  ``live`` flushes after
+    every record so ``repro trace --follow`` (and a crash's post-mortem)
+    sees each line the moment it is written.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], append: bool = False, live: bool = False
+    ):
         self.path = Path(path)
+        self.live = live
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("w", encoding="utf-8")
+        self._handle = self.path.open("a" if append else "w", encoding="utf-8")
 
     def write(self, record: Dict[str, object]) -> None:
         if self._handle is None:
@@ -68,6 +77,8 @@ class JsonlSink:
             json.dumps(record, separators=(",", ":"), default=_json_default)
         )
         self._handle.write("\n")
+        if self.live:
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:

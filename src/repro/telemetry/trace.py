@@ -13,14 +13,27 @@ instants).
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.telemetry.events import ROOT
 
 __all__ = [
     "EventLog",
+    "follow_events",
+    "format_record",
     "read_event_log",
     "render_timeline",
     "render_trace_report",
@@ -88,6 +101,79 @@ def read_event_log(path: Union[str, Path]) -> EventLog:
             else:
                 records.append(record)
     return EventLog(path=path, meta=meta, records=tuple(records))
+
+
+def follow_events(
+    path: Union[str, Path],
+    poll_seconds: float = 0.25,
+    idle_timeout: Optional[float] = None,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Tail a JSONL event log, yielding each record as it lands.
+
+    The ``repro trace --follow`` engine: existing records stream out
+    first, then the file is polled for appended lines — including a file
+    that does not exist yet (a job about to start) and lines written by
+    another process mid-append (a torn tail line is held back until its
+    newline arrives; the flush-per-record :class:`JsonlSink` makes that
+    window tiny).  Iteration ends when ``stop()`` returns true or, with
+    ``idle_timeout``, after that many seconds without a new record.
+    """
+    path = Path(path)
+    handle = None
+    try:
+        waited = 0.0
+        while True:
+            if path.exists():
+                handle = path.open("r", encoding="utf-8")
+                break
+            if stop is not None and stop():
+                return
+            if idle_timeout is not None and waited >= idle_timeout:
+                return
+            time.sleep(poll_seconds)
+            waited += poll_seconds
+        idle = 0.0
+        while True:
+            position = handle.tell()
+            line = handle.readline()
+            if line.endswith("\n"):
+                idle = 0.0
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                continue
+            # EOF (or a torn tail still being written): rewind and wait.
+            handle.seek(position)
+            if stop is not None and stop():
+                return
+            if idle_timeout is not None and idle >= idle_timeout:
+                return
+            time.sleep(poll_seconds)
+            idle += poll_seconds
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def format_record(record: Dict[str, object]) -> Optional[str]:
+    """One human-readable line per record (None for meta records)."""
+    kind = record.get("kind")
+    if kind not in ("event", "span"):
+        return None
+    ts = float(record.get("ts", 0.0))
+    fields = record.get("fields", {})
+    detail = " ".join(f"{k}={v}" for k, v in fields.items()) if fields else ""
+    if kind == "span":
+        dur = _fmt_seconds(float(record.get("dur", 0.0)))
+        return f"{ts:>9.3f}s  span  {record.get('name', '?'):<20s} {dur:>8s}  {detail}"
+    return f"{ts:>9.3f}s  event {record.get('name', '?'):<20s} {'':>8s}  {detail}"
 
 
 # ----------------------------------------------------------------------

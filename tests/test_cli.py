@@ -109,3 +109,95 @@ class TestExperimentCommand:
     def test_fig2_fast(self, capsys):
         assert main(["experiment", "fig2"]) == 0
         assert "Figure 2" in capsys.readouterr().out
+
+
+class TestJobsCommand:
+    """The ``repro jobs`` front end over a run store."""
+
+    FAST = ["--train", "30", "--trees", "10", "--generations", "2", "--seed", "1"]
+
+    def test_parser_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs", "submit", "TS", "--size", "10"])
+
+    def test_submit_list_status_cancel(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["jobs", "submit", "TS", "--size", "10", *self.FAST, "--store", store]
+        ) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("ts-")
+
+        assert main(["jobs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "queued" in out
+
+        assert main(["jobs", "status", job_id, "--store", store]) == 0
+        assert "state: queued" in capsys.readouterr().out
+
+        assert main(["jobs", "cancel", job_id, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status", job_id, "--store", store]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+    def test_submit_run_then_trace(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code = main(
+            ["jobs", "submit", "TS", "--size", "10", *self.FAST,
+             "--store", str(store), "--run", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "done" in out and "fingerprint" in out
+        job_id = out.strip().splitlines()[0]
+
+        # the per-job event log renders through repro trace
+        events = store / "events" / f"{job_id}.jsonl"
+        assert main(["trace", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "collect" in out and "ga.generation" in out
+
+        # and --follow streams it (idle timeout ends the tail)
+        assert main(
+            ["trace", str(events), "--follow", "--idle-timeout", "0.05"]
+        ) == 0
+        assert "ga.generation" in capsys.readouterr().out
+
+    def test_jobs_run_drains_queue(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        main(["jobs", "submit", "TS", "--collect-only", *self.FAST, "--store", store])
+        capsys.readouterr()
+        assert main(["jobs", "run", "--store", store, "--no-cache"]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_resume_needs_id_or_all(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["jobs", "resume", "--store", store]) == 2
+
+    def test_status_of_missing_job_errors(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["jobs", "status", "nope", "--store", store]) == 2
+
+
+class TestStoreFlagOnTuneCollect:
+    def test_tune_via_store_writes_conf(self, capsys, tmp_path):
+        conf = tmp_path / "spark-dac.conf"
+        code = main(
+            ["tune", "TS", "--size", "10", "--train", "30", "--trees", "10",
+             "--generations", "2", "--store", str(tmp_path / "store"),
+             "--output", str(conf), "--no-cache"]
+        )
+        assert code == 0
+        assert conf.exists()
+        out = capsys.readouterr().out
+        assert "submitted job" in out and "fingerprint" in out
+
+    def test_collect_via_store_writes_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "set.csv"
+        code = main(
+            ["collect", "TS", "--examples", "20", "--output", str(out_file),
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "submitted job" in capsys.readouterr().out

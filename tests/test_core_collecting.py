@@ -101,3 +101,46 @@ class TestTrainingSet:
     def test_merge(self, small_training_set):
         merged = small_training_set.merged_with(small_training_set)
         assert len(merged) == 2 * len(small_training_set)
+
+
+class TestBatchPlan:
+    """plan() + run_batch() is collect(), batch by batch."""
+
+    def test_plan_covers_all_examples(self):
+        collector = Collector(get_workload("TS"), seed=9)
+        batches = collector.plan(25, stream="train")
+        assert sum(len(b.requests) for b in batches) == 25
+        assert [b.index for b in batches] == list(range(len(batches)))
+        assert len({b.size for b in batches}) == len(batches)
+
+    def test_plan_is_deterministic(self):
+        a = Collector(get_workload("TS"), seed=9).plan(12)
+        b = Collector(get_workload("TS"), seed=9).plan(12)
+        assert [r.config for batch in a for r in batch.requests] == [
+            r.config for batch in b for r in batch.requests
+        ]
+
+    def test_batchwise_equals_collect(self):
+        whole = Collector(get_workload("TS"), seed=11).collect(20, stream="train")
+        collector = Collector(get_workload("TS"), seed=11)
+        vectors = []
+        for batch in collector.plan(20, stream="train"):
+            vectors.extend(collector.run_batch(batch, done=len(vectors), total=20))
+        assert [v.seconds for v in vectors] == [v.seconds for v in whole.vectors]
+        assert [v.configuration for v in vectors] == [
+            v.configuration for v in whole.vectors
+        ]
+
+    def test_resume_from_partial_prefix(self):
+        """Replanning after a crash reproduces the unfinished suffix."""
+        whole = Collector(get_workload("TS"), seed=13).collect(20, stream="train")
+        first = Collector(get_workload("TS"), seed=13)
+        batches = first.plan(20, stream="train")
+        vectors = []
+        for batch in batches[:3]:  # crash after three batches
+            vectors.extend(first.run_batch(batch))
+        second = Collector(get_workload("TS"), seed=13)  # fresh process
+        replanned = second.plan(20, stream="train")
+        for batch in replanned[3:]:
+            vectors.extend(second.run_batch(batch))
+        assert [v.seconds for v in vectors] == [v.seconds for v in whole.vectors]

@@ -133,3 +133,56 @@ class TestGeneticAlgorithm:
             generations=60,
         )
         assert result.best_fitness < 0.1
+
+
+class TestGaStateResume:
+    """The checkpointable start/step/done decomposition of minimize."""
+
+    def test_stepwise_equals_minimize(self, toy_space):
+        fitness = sphere(np.full(6, 0.3))
+        ga = GeneticAlgorithm(toy_space, population_size=20)
+        whole = ga.minimize(fitness, derive_rng("ga-resume"), generations=15)
+
+        state = ga.start(fitness, derive_rng("ga-resume"))
+        while not ga.done(state, generations=15, patience=25):
+            ga.step(state, fitness)
+        stepped = ga.result(state)
+        assert stepped.history == whole.history
+        assert stepped.best_fitness == whole.best_fitness
+        assert stepped.best_configuration == whole.best_configuration
+        assert stepped.converged_at == whole.converged_at
+
+    def test_pickled_state_resumes_identically(self, toy_space):
+        import pickle
+
+        fitness = sphere(np.full(6, 0.6))
+        ga = GeneticAlgorithm(toy_space, population_size=20)
+        reference = ga.minimize(fitness, derive_rng("ga-pickle"), generations=12)
+
+        state = ga.start(fitness, derive_rng("ga-pickle"))
+        for _ in range(5):
+            ga.step(state, fitness)
+        # crash here: the persisted snapshot carries the RNG mid-stream
+        snapshot = pickle.loads(pickle.dumps(state))
+        while not ga.done(snapshot, generations=12, patience=25):
+            ga.step(snapshot, fitness)
+        resumed = ga.result(snapshot)
+        assert resumed.history == reference.history
+        assert resumed.best_configuration == reference.best_configuration
+
+    def test_generation_counter(self, toy_space):
+        fitness = sphere(np.zeros(6))
+        ga = GeneticAlgorithm(toy_space, population_size=10)
+        state = ga.start(fitness, derive_rng("ga-gen"))
+        assert state.generation == 0
+        ga.step(state, fitness)
+        assert state.generation == 1
+
+    def test_done_respects_patience(self, toy_space):
+        constant = lambda pop: np.ones(len(pop))  # noqa: E731
+        ga = GeneticAlgorithm(toy_space, population_size=10)
+        state = ga.start(constant, derive_rng("ga-done"))
+        while not ga.done(state, generations=100, patience=3):
+            ga.step(state, constant)
+        assert state.generation < 100
+        assert state.stale >= 3

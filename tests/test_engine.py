@@ -223,3 +223,47 @@ def test_cli_parses_backend_flags():
 def test_cli_rejects_unknown_backend(capsys):
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "TS", "--size", "30", "--backend", "thread"])
+
+
+def test_disk_cache_entries_carry_format_tag(space, tmp_path):
+    from repro.engine import CACHE_FORMAT
+
+    backend = CachedBackend(InProcessBackend(), directory=tmp_path)
+    backend.submit(_requests(space, n=1))
+    entries = list(tmp_path.glob("*.pkl"))
+    assert entries and all(
+        e.read_bytes().startswith(CACHE_FORMAT) for e in entries
+    )
+
+
+def test_stale_format_entry_invalidated_and_rewritten(space, tmp_path):
+    """A cache entry from an older format version reads as a miss and is
+    replaced by a current-format entry."""
+    request = _requests(space, n=1)[0]
+    warm = CachedBackend(InProcessBackend(), directory=tmp_path)
+    expected = warm.submit([request])[0].run
+    entry = next(tmp_path.glob("*.pkl"))
+    entry.write_bytes(b"repro-cache/0\n" + pickle.dumps(expected))
+
+    from repro.engine import CACHE_FORMAT
+
+    cold = CachedBackend(InProcessBackend(), directory=tmp_path)
+    outcome = cold.submit([request])[0]
+    assert not outcome.cache_hit  # stale format did not serve
+    assert entry.read_bytes().startswith(CACHE_FORMAT)  # rewritten
+    assert outcome.run.seconds == expected.seconds
+
+
+def test_truncated_disk_entry_evicted_then_overwritten(space, tmp_path):
+    request = _requests(space, n=1)[0]
+    warm = CachedBackend(InProcessBackend(), directory=tmp_path)
+    warm.submit([request])
+    entry = next(tmp_path.glob("*.pkl"))
+    entry.write_bytes(entry.read_bytes()[:-7])  # torn write
+
+    cold = CachedBackend(InProcessBackend(), directory=tmp_path)
+    first = cold.submit([request])[0]
+    assert not first.cache_hit and cold.inner.stats.runs == 1
+    # the bad entry was replaced: a third backend now hits disk cleanly
+    third = CachedBackend(InProcessBackend(), directory=tmp_path)
+    assert third.submit([request])[0].cache_hit

@@ -1,0 +1,268 @@
+"""The job service: data model, scheduling, budgets, warm starts, resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuner import DacTuner
+from repro.engine import InProcessBackend
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    AdmissionError,
+    BudgetedBackend,
+    BudgetExceeded,
+    JobRecord,
+    JobService,
+    TuneRequest,
+)
+from repro.store import RunStore, report_fingerprint
+from repro.workloads import get_workload
+
+#: Tiny-but-complete pipeline parameters shared by the tests here.
+FAST = dict(n_train=40, n_trees=15, generations=3, patience=None, seed=2)
+
+
+def _request(**overrides) -> TuneRequest:
+    return TuneRequest(**{"program": "TS", "size": 10.0, **FAST, **overrides})
+
+
+def _reference_report(request: TuneRequest):
+    tuner = DacTuner(
+        get_workload(request.program),
+        n_train=request.n_train,
+        n_trees=request.n_trees,
+        learning_rate=request.learning_rate,
+        seed=request.seed,
+    )
+    tuner.collect()
+    tuner.fit()
+    return tuner.tune(
+        request.size, generations=request.generations, patience=request.patience
+    )
+
+
+# ----------------------------------------------------------------------
+# Data model
+# ----------------------------------------------------------------------
+class TestTuneRequest:
+    def test_round_trip(self):
+        request = _request(budget=50, warm_from="prior-1")
+        assert TuneRequest.from_dict(request.to_dict()) == request
+
+    def test_unknown_keys_ignored(self):
+        data = {**_request().to_dict(), "from_the_future": 1}
+        assert TuneRequest.from_dict(data) == _request()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            TuneRequest(program="TS", kind="nope")
+        with pytest.raises(ValueError, match="size"):
+            TuneRequest(program="TS", kind="tune", size=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            _request(budget=0)
+        # collect jobs need no size
+        TuneRequest(program="TS", kind="collect")
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        record = JobRecord.new(_request(), priority=3)
+        record.progress["collect"] = {"batches_done": 2}
+        record.runs_by_session["1"] = 12
+        loaded = JobRecord.from_dict(record.to_dict())
+        assert loaded.request == record.request
+        assert loaded.priority == 3
+        assert loaded.progress == record.progress
+        assert loaded.runs_by_session == {"1": 12}
+
+    def test_resumable_states(self):
+        record = JobRecord.new(_request())
+        for state, resumable in [
+            (QUEUED, True), ("running", True), (FAILED, True),
+            (DONE, False), (CANCELLED, False),
+        ]:
+            record.state = state
+            assert record.resumable is resumable
+
+
+# ----------------------------------------------------------------------
+# Scheduling and admission
+# ----------------------------------------------------------------------
+class TestScheduling:
+    def test_priority_then_fifo(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        low = service.submit(_request(), priority=0)
+        high = service.submit(_request(seed=3), priority=5)
+        mid = service.submit(_request(seed=4), priority=1)
+        assert [j.job_id for j in service.pending()] == [
+            high.job_id, mid.job_id, low.job_id,
+        ]
+
+    def test_admission_control(self, tmp_path):
+        service = JobService(tmp_path / "store", max_queued=2)
+        service.submit(_request())
+        service.submit(_request(seed=3))
+        with pytest.raises(AdmissionError, match="queue full"):
+            service.submit(_request(seed=4))
+
+    def test_default_budget_applied(self, tmp_path):
+        service = JobService(tmp_path / "store", default_budget=77)
+        assert service.submit(_request()).request.budget == 77
+        assert service.submit(_request(budget=5, seed=3)).request.budget == 5
+
+    def test_get_unknown_job(self, tmp_path):
+        with pytest.raises(KeyError):
+            JobService(tmp_path / "store").get("nope")
+
+    def test_cancel(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        record = service.submit(_request())
+        service.cancel(record.job_id)
+        assert service.get(record.job_id).state == CANCELLED
+        assert service.pending() == []
+        with pytest.raises(ValueError, match="cancelled"):
+            service.resume(record.job_id)
+
+
+# ----------------------------------------------------------------------
+# Execution: full pipeline through the service
+# ----------------------------------------------------------------------
+class TestExecution:
+    def test_tune_job_matches_direct_tuner(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request())
+        finished = service.run_pending()[0]
+        assert finished.state == DONE
+        reference = _reference_report(record.request)
+        assert finished.result["fingerprint"] == report_fingerprint(reference)
+        assert finished.runs_by_session == {"1": FAST["n_train"]}
+        # every phase left a durable artifact
+        store = service.store
+        assert store.get_training_set(record.artifact_key("training")) is not None
+        assert store.get_model(record.artifact_key("model")) is not None
+        assert store.get_report(record.artifact_key("report")) is not None
+        assert store.event_log_path(record.job_id).exists()
+
+    def test_collect_job(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(
+            TuneRequest(program="TS", kind="collect", n_train=30, seed=1)
+        )
+        finished = service.run_pending()[0]
+        assert finished.state == DONE
+        assert finished.result["examples"] == 30
+        training = service.store.get_training_set(record.artifact_key("training"))
+        assert len(training) == 30
+
+    def test_budget_exhaustion_then_resume(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request(budget=10))
+        failed = service.run_pending()[0]
+        assert failed.state == FAILED
+        assert "budget" in failed.error
+        assert failed.progress["collect"]["batches_done"] >= 1
+        assert not failed.progress["collect"].get("done")
+
+        # a fresh service (fresh process, in spirit) resumes to done
+        resumed = JobService(tmp_path / "store", use_cache=False).resume(
+            record.job_id, budget=10_000
+        )
+        assert resumed.state == DONE
+        reference = _reference_report(record.request)
+        assert resumed.result["fingerprint"] == report_fingerprint(reference)
+        total = sum(resumed.runs_by_session.values())
+        assert total == FAST["n_train"]  # nothing re-executed
+        assert resumed.runs_by_session["2"] < FAST["n_train"]
+
+    def test_resume_all_picks_up_crashed_running_job(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request(budget=10))
+        service.run_pending()
+        # forge the crash: a SIGKILL'd worker leaves state "running"
+        data = service.store.load_job(record.job_id)
+        data["state"] = "running"
+        data["request"]["budget"] = None
+        service.store.save_job(record.job_id, data)
+        finished = JobService(tmp_path / "store", use_cache=False).resume_all()
+        assert [j.state for j in finished] == [DONE]
+
+    def test_resume_of_done_job_is_a_noop(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request())
+        first = service.run_pending()[0]
+        again = service.resume(record.job_id)
+        assert again.state == DONE
+        assert again.sessions == first.sessions  # did not run again
+
+    def test_warm_start_reuses_training_and_model(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        first = service.submit(_request())
+        service.run_pending()
+        # same modeling params, different target size: reuses set + model
+        warm = service.submit(_request(size=40.0, warm_from=first.job_id))
+        finished = service.resume(warm.job_id)
+        assert finished.state == DONE
+        assert finished.runs_by_session == {"1": 0}  # zero substrate runs
+        assert finished.progress["collect"]["warm_from"] == first.job_id
+        assert finished.progress["fit"]["warm_from"] == first.job_id
+        # and the answer equals tuning the same model directly
+        reference = _reference_report(warm.request)
+        assert finished.result["fingerprint"] == report_fingerprint(reference)
+
+    def test_warm_start_refits_when_model_params_differ(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        first = service.submit(_request())
+        service.run_pending()
+        warm = service.submit(
+            _request(n_trees=20, warm_from=first.job_id)  # different model
+        )
+        finished = service.resume(warm.job_id)
+        assert finished.state == DONE
+        assert finished.runs_by_session == {"1": 0}  # set still reused
+        assert "warm_from" not in finished.progress["fit"]  # model refitted
+
+    def test_shared_cache_across_jobs(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=True)
+        a = service.submit(_request())
+        service.run_pending()
+        b = service.submit(_request(generations=2, seed=2, size=40.0))
+        service.run_pending()
+        done_b = service.get(b.job_id)
+        # same (program, seed, n_train) collection: all 40 runs were hits
+        assert done_b.state == DONE
+        assert done_b.runs_by_session == {"1": 0}
+        assert service.get(a.job_id).runs_by_session == {"1": FAST["n_train"]}
+
+
+# ----------------------------------------------------------------------
+# Budgeted backend
+# ----------------------------------------------------------------------
+class TestBudget:
+    def test_budget_counts_only_executions(self):
+        from repro.engine import CachedBackend, ExecRequest
+        from repro.core.baselines import default_configuration
+
+        workload = get_workload("TS")
+        request = ExecRequest(
+            job=workload.job(10.0), config=default_configuration()
+        )
+        engine = BudgetedBackend(CachedBackend(InProcessBackend()), budget=2)
+        engine.submit([request])
+        # the repeat is a cache hit: free, so it does not spend budget
+        engine.submit([request])
+        assert engine.executed == 1
+        other = ExecRequest(job=workload.job(20.0), config=default_configuration())
+        engine.submit([other])
+        assert engine.executed == 2
+        # the gate is checked between batches: once spent, no more batches
+        with pytest.raises(BudgetExceeded):
+            engine.submit([request])
+        engine.close()
+
+    def test_unlimited_budget(self):
+        engine = BudgetedBackend(InProcessBackend(), budget=None)
+        assert engine.submit([]) == []
+        engine.close()

@@ -1,0 +1,243 @@
+"""The run store: artifact containers, index, typed codecs, job records."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.collecting import Collector, TrainingSet
+from repro.core.ga import GeneticAlgorithm
+from repro.core.tuner import DacTuner
+from repro.common.rng import derive_rng
+from repro.store import (
+    ArtifactError,
+    KIND_SCHEMAS,
+    RunStore,
+    STORE_SCHEMA,
+    StoreError,
+    payload_digest,
+    read_artifact,
+    report_fingerprint,
+    write_artifact,
+)
+from repro.workloads import get_workload
+
+
+# ----------------------------------------------------------------------
+# Artifact container
+# ----------------------------------------------------------------------
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "blob"
+        payload = b"x" * 1000
+        digest = write_artifact(path, payload, kind="bytes", schema=3, codec="raw")
+        header, read_back = read_artifact(path)
+        assert read_back == payload
+        assert digest == payload_digest(payload)
+        assert header["kind"] == "bytes"
+        assert header["schema"] == 3
+        assert header["codec"] == "raw"
+        assert header["size"] == 1000
+        assert header["sha256"] == digest
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            read_artifact(tmp_path / "nope")
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "blob"
+        write_artifact(path, b"abcdefgh" * 64, kind="bytes", schema=1, codec="raw")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-17])  # torn write
+        with pytest.raises(ArtifactError, match="truncated"):
+            read_artifact(path)
+
+    def test_corrupt_payload(self, tmp_path):
+        path = tmp_path / "blob"
+        write_artifact(path, b"abcdefgh" * 64, kind="bytes", schema=1, codec="raw")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # same length, wrong content
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="digest"):
+            read_artifact(path)
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b'{"magic": "something-else"}\npayload')
+        with pytest.raises(ArtifactError, match="not an artifact"):
+            read_artifact(path)
+        path.write_bytes(b"no header newline at all")
+        with pytest.raises(ArtifactError):
+            read_artifact(path)
+
+    def test_no_tmp_litter(self, tmp_path):
+        write_artifact(tmp_path / "a", b"x", kind="bytes", schema=1, codec="raw")
+        assert [p.name for p in tmp_path.iterdir()] == ["a"]
+
+
+# ----------------------------------------------------------------------
+# RunStore: index + bytes/object layer
+# ----------------------------------------------------------------------
+class TestRunStore:
+    def test_put_get_bytes(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        digest = store.put_bytes("some/key", b"payload")
+        assert store.get_bytes("some/key") == b"payload"
+        assert store.entry("some/key")["digest"] == digest
+        assert store.get_bytes("other/key") is None
+
+    def test_latest_version_wins(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_bytes("k", b"v1")
+        store.put_bytes("k", b"v2")
+        assert store.get_bytes("k") == b"v2"
+        # and a fresh store object (re-reading the index) agrees
+        assert RunStore(tmp_path / "store").get_bytes("k") == b"v2"
+
+    def test_kind_mismatch_reads_absent(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_bytes("k", b"v", kind="bytes")
+        assert store.get_bytes("k", kind="json") is None
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path / "store")
+        store.put_bytes("k", b"v")
+        monkeypatch.setitem(KIND_SCHEMAS, "bytes", KIND_SCHEMAS["bytes"] + 1)
+        assert store.get_bytes("k") is None  # stale schema == absent
+
+    def test_corrupt_blob_reads_absent(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_bytes("k", b"v" * 100)
+        blob_path = store._object_path(store.entry("k")["digest"])
+        blob_path.write_bytes(blob_path.read_bytes()[:-5])
+        assert store.get_bytes("k") is None
+
+    def test_torn_index_tail_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_bytes("a", b"1")
+        store.put_bytes("b", b"2")
+        with store._index_path().open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "c", "digest"')  # torn mid-write
+        reopened = RunStore(tmp_path / "store")
+        assert reopened.get_bytes("a") == b"1"
+        assert reopened.get_bytes("b") == b"2"
+        assert reopened.keys() == ["a", "b"]
+
+    def test_not_a_store(self, tmp_path):
+        with pytest.raises(StoreError):
+            RunStore(tmp_path / "absent", create=False)
+
+    def test_schema_guard(self, tmp_path):
+        root = tmp_path / "store"
+        RunStore(root)
+        meta = json.loads((root / "meta.json").read_text())
+        meta["store_schema"] = STORE_SCHEMA + 1
+        (root / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(StoreError, match="schema"):
+            RunStore(root)
+
+    def test_cross_process_round_trip(self, tmp_path):
+        """A value written by another process reads back verbatim."""
+        root = tmp_path / "store"
+        RunStore(root)
+        script = (
+            "import sys\n"
+            "from repro.store import RunStore\n"
+            f"store = RunStore({str(root)!r})\n"
+            "store.put_bytes('child/key', b'written-by-child')\n"
+        )
+        src = str(Path(__file__).parent.parent / "src")
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env={**os.environ, "PYTHONPATH": src},
+        )
+        store = RunStore(root)
+        assert store.get_bytes("child/key") == b"written-by-child"
+
+    def test_refresh_sees_other_writers(self, tmp_path):
+        first = RunStore(tmp_path / "store")
+        second = RunStore(tmp_path / "store")
+        first.put_bytes("k", b"v")
+        second.refresh()
+        assert second.get_bytes("k") == b"v"
+
+
+# ----------------------------------------------------------------------
+# Typed codecs
+# ----------------------------------------------------------------------
+class TestTypedArtifacts:
+    def test_training_set_round_trip(self, tmp_path, terasort):
+        store = RunStore(tmp_path / "store")
+        training = Collector(terasort, seed=3).collect(20, stream="train")
+        store.put_training_set("ts", training)
+        loaded = store.get_training_set("ts")
+        assert loaded is not None
+        assert len(loaded) == len(training)
+        np.testing.assert_allclose(loaded.times(), training.times())
+        np.testing.assert_allclose(loaded.features(), training.features())
+
+    def test_model_round_trip(self, tmp_path, terasort):
+        store = RunStore(tmp_path / "store")
+        tuner = DacTuner(terasort, n_train=30, n_trees=10, seed=0)
+        tuner.collect()
+        model = tuner.fit()
+        store.put_model("m", model)
+        loaded = store.get_model("m")
+        X = tuner.training_set.features()
+        np.testing.assert_allclose(loaded.predict(X), model.predict(X))
+
+    def test_ga_state_round_trip(self, tmp_path, space):
+        store = RunStore(tmp_path / "store")
+        ga = GeneticAlgorithm(space, population_size=10)
+        fitness = lambda pop: pop.sum(axis=1)  # noqa: E731
+        state = ga.start(fitness, derive_rng("store-ga"))
+        ga.step(state, fitness)
+        store.put_ga_state("g", state)
+        resumed = store.get_ga_state("g")
+        ga.step(state, fitness)
+        ga.step(resumed, fitness)
+        np.testing.assert_array_equal(resumed.pop, state.pop)
+        assert resumed.history == state.history
+
+    def test_report_round_trip_and_fingerprint(self, tmp_path, terasort):
+        store = RunStore(tmp_path / "store")
+        tuner = DacTuner(terasort, n_train=30, n_trees=10, seed=0)
+        tuner.collect()
+        tuner.fit()
+        report = tuner.tune(10.0, generations=2, patience=None)
+        store.put_report("r", report)
+        loaded = store.get_report("r")
+        assert report_fingerprint(loaded) == report_fingerprint(report)
+        other = tuner.tune(40.0, generations=2, patience=None)
+        assert report_fingerprint(other) != report_fingerprint(report)
+
+    def test_get_object_rejects_unpicklable_garbage(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_bytes("m", b"not a pickle", kind="model", codec="pickle")
+        assert store.get_model("m") is None
+
+
+# ----------------------------------------------------------------------
+# Job records
+# ----------------------------------------------------------------------
+class TestJobRecords:
+    def test_save_load_list(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.save_job("j-1", {"job_id": "j-1", "created": 2.0})
+        store.save_job("j-2", {"job_id": "j-2", "created": 1.0})
+        assert store.load_job("j-1")["job_id"] == "j-1"
+        assert store.load_job("missing") is None
+        assert [r["job_id"] for r in store.list_jobs()] == ["j-2", "j-1"]
+
+    def test_corrupt_record_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.save_job("ok", {"job_id": "ok", "created": 1.0})
+        (tmp_path / "store" / "jobs" / "bad.json").write_text("{torn")
+        assert [r["job_id"] for r in store.list_jobs()] == ["ok"]

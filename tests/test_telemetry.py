@@ -315,3 +315,102 @@ class TestCliIntegration:
         assert plain.metrics is None
         assert instrumented.metrics is not None
         assert instrumented.metrics.counters["engine.requests{backend=inprocess}"] > 0
+
+
+class TestJsonlSinkModes:
+    def test_append_continues_existing_log(self, tmp_path):
+        from repro.telemetry.sinks import JsonlSink
+
+        path = tmp_path / "events.jsonl"
+        first = JsonlSink(path)
+        first.write({"kind": "event", "name": "a", "ts": 0.0, "fields": {}})
+        first.close()
+        second = JsonlSink(path, append=True)
+        second.write({"kind": "event", "name": "b", "ts": 1.0, "fields": {}})
+        second.close()
+        names = [r["name"] for r in read_event_log(path).events]
+        assert names == ["a", "b"]
+
+    def test_live_mode_flushes_per_record(self, tmp_path):
+        from repro.telemetry.sinks import JsonlSink
+
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, live=True)
+        sink.write({"kind": "event", "name": "now", "ts": 0.0, "fields": {}})
+        # visible before close: that is what --follow relies on
+        assert [r["name"] for r in read_event_log(path).events] == ["now"]
+        sink.close()
+
+
+class TestAddRemoveSink:
+    def test_added_sink_receives_then_stops(self):
+        from repro.telemetry.events import Telemetry
+
+        tap = RingBufferSink()
+        session = Telemetry()
+        session.add_sink(tap)
+        session.event("seen")
+        session.remove_sink(tap)
+        session.event("unseen")
+        names = [r.get("name") for r in tap.records]
+        assert names == ["seen"]
+        session.remove_sink(tap)  # removing twice is harmless
+
+
+class TestFollowEvents:
+    def test_streams_existing_then_appended_records(self, tmp_path):
+        import threading
+        from repro.telemetry import follow_events
+        from repro.telemetry.sinks import JsonlSink
+
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, live=True)
+        sink.write({"kind": "event", "name": "first", "ts": 0.0, "fields": {}})
+
+        seen = []
+
+        def tail():
+            for record in follow_events(path, poll_seconds=0.01, idle_timeout=1.0):
+                seen.append(record.get("name"))
+                if len(seen) == 2:
+                    return
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        sink.write({"kind": "event", "name": "second", "ts": 1.0, "fields": {}})
+        thread.join(timeout=10)
+        sink.close()
+        assert seen == ["first", "second"]
+
+    def test_idle_timeout_and_missing_file(self, tmp_path):
+        from repro.telemetry import follow_events
+
+        records = list(
+            follow_events(tmp_path / "never.jsonl", poll_seconds=0.01, idle_timeout=0.05)
+        )
+        assert records == []
+
+    def test_torn_tail_line_held_back(self, tmp_path):
+        from repro.telemetry import follow_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "event", "name": "ok", "fields": {}}\n{"kind": "ev')
+        seen = [
+            r.get("name")
+            for r in follow_events(path, poll_seconds=0.01, idle_timeout=0.05)
+        ]
+        assert seen == ["ok"]
+
+    def test_format_record_lines(self):
+        from repro.telemetry import format_record
+
+        assert format_record({"kind": "meta"}) is None
+        event_line = format_record(
+            {"kind": "event", "name": "ga.generation", "ts": 1.5,
+             "fields": {"generation": 3}}
+        )
+        assert "ga.generation" in event_line and "generation=3" in event_line
+        span_line = format_record(
+            {"kind": "span", "name": "collect", "ts": 0.0, "dur": 2.0, "fields": {}}
+        )
+        assert "collect" in span_line and "2.00s" in span_line
