@@ -451,6 +451,8 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         return 0 if all(r.state == "done" for r in finished) else 1
 
     if action == "resume":
+        from repro.service import LeaseHeld
+
         if not getattr(args, "all", False) and args.job_id is None:
             log.error("error: give a job id or --all")
             return 2
@@ -461,7 +463,13 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             for record in finished:
                 _report_job(record)
             return 0 if all(r.state == "done" for r in finished) else 1
-        record = service.resume(args.job_id, budget=getattr(args, "budget", None))
+        try:
+            record = service.resume(
+                args.job_id, budget=getattr(args, "budget", None)
+            )
+        except LeaseHeld as exc:
+            log.error("error: %s (another worker is running it)", exc)
+            return 1
         _report_job(record)
         return 0 if record.state == "done" else 1
 
@@ -471,6 +479,54 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         return 0
 
     raise ValueError(f"unknown jobs action {action!r}")
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: drain a shared store's queue under a lease.
+
+    The worker's own telemetry — lease acquisitions, takeovers, losses
+    — streams to ``events/worker-<id>.jsonl`` in the store; each job it
+    runs additionally taps that pipeline into the job's per-job event
+    log, so both the per-worker and per-job views survive the worker.
+    """
+    from repro.service import JobService, default_worker_id
+    from repro.telemetry.events import Telemetry, install
+    from repro.telemetry.sinks import JsonlSink
+
+    worker_id = getattr(args, "worker_id", None) or default_worker_id()
+    service = JobService(
+        Path(args.store),
+        engine_factory=lambda: build_backend(args),
+        use_cache=not getattr(args, "no_cache", False),
+        worker_id=worker_id,
+        lease_ttl=args.lease_ttl,
+    )
+    log_path = service.store.root / "events" / f"worker-{worker_id}.jsonl"
+    sink = JsonlSink(log_path, append=True, live=True)
+    session = Telemetry([sink])
+    previous = install(session)
+    log.info(
+        "worker %s draining %s (lease ttl %.0fs, poll %.1fs)",
+        worker_id, args.store, args.lease_ttl, args.poll_interval,
+    )
+    telemetry.event("worker.started", worker=worker_id, store=str(args.store))
+    finished = []
+    try:
+        finished = service.work(
+            poll_interval=args.poll_interval,
+            max_jobs=getattr(args, "max_jobs", None),
+            idle_polls=getattr(args, "exit_when_idle", None),
+        )
+    except KeyboardInterrupt:
+        log.info("worker %s interrupted", worker_id)
+    finally:
+        telemetry.event("worker.exit", worker=worker_id, jobs=len(finished))
+        install(previous)
+        session.close()
+    for record in finished:
+        _report_job(record)
+    log.info("worker %s exiting after %d jobs", worker_id, len(finished))
+    return 0
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:

@@ -250,6 +250,35 @@ def build_parser() -> argparse.ArgumentParser:
     cancel = _jobs_parser("cancel", "cancel an unfinished job")
     cancel.add_argument("job_id")
 
+    # -- worker --------------------------------------------------------------
+    worker = sub.add_parser(
+        "worker",
+        help="long-lived lease-holding worker draining a store's job queue "
+        "(run one per host against a shared store)",
+        parents=[verbosity],
+    )
+    worker.add_argument("--store", metavar="DIR", required=True,
+                        help="run store directory (shared across workers)")
+    worker.add_argument("--worker-id", metavar="ID", default=None,
+                        help="lease identity (default: host-pid-random)")
+    worker.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
+                        help="seconds a job lease survives without renewal; "
+                        "expired leases are taken over by other workers "
+                        "(default: 30)")
+    worker.add_argument("--poll-interval", type=float, default=1.0,
+                        metavar="SEC",
+                        help="seconds between empty queue polls (default: 1)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after finishing N jobs (default: no limit)")
+    worker.add_argument("--exit-when-idle", type=int, default=None,
+                        metavar="POLLS",
+                        help="exit after POLLS consecutive empty polls "
+                        "(default: poll forever)")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="do not reuse substrate runs from the store cache")
+    _add_engine_flags(worker)
+    worker.set_defaults(handler=commands.cmd_worker)
+
     # -- workloads -----------------------------------------------------------
     workloads = sub.add_parser(
         "workloads", help="list the Table-1 programs", parents=[verbosity]

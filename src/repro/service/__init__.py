@@ -10,10 +10,15 @@ turns one-shot tuner invocations into durable *jobs*:
 * :mod:`repro.service.runner` — :class:`JobRunner`, executing one job
   through checkpointable phases (collect per batch, fit per order,
   search per generation) with a durable checkpoint after each unit;
+* :mod:`repro.service.lease` — per-job worker leases over the shared
+  store (:class:`LeaseManager`): atomic acquisition, heartbeat
+  renewal, expiry-based takeover, monotonic fencing tokens;
 * :mod:`repro.service.scheduler` — :class:`JobService`, the
-  priority/FIFO queue, admission control and bounded worker pool.
+  priority/FIFO queue, admission control, lease-based claiming and
+  the multi-host worker loop (:meth:`JobService.work`).
 
-The CLI front end is ``repro jobs submit|list|status|run|resume|cancel``.
+The CLI front ends are ``repro jobs submit|list|status|run|resume|cancel``
+and the long-lived ``repro worker``.
 """
 
 from repro.service.budget import BudgetedBackend, BudgetExceeded
@@ -26,6 +31,15 @@ from repro.service.jobs import (
     RUNNING,
     JobRecord,
     TuneRequest,
+)
+from repro.service.lease import (
+    Lease,
+    LeaseError,
+    LeaseHeld,
+    LeaseInfo,
+    LeaseLost,
+    LeaseManager,
+    default_worker_id,
 )
 from repro.service.runner import JobRunner
 from repro.service.scheduler import AdmissionError, JobService
@@ -40,8 +54,15 @@ __all__ = [
     "JobRecord",
     "JobRunner",
     "JobService",
+    "Lease",
+    "LeaseError",
+    "LeaseHeld",
+    "LeaseInfo",
+    "LeaseLost",
+    "LeaseManager",
     "PHASES",
     "QUEUED",
     "RUNNING",
     "TuneRequest",
+    "default_worker_id",
 ]

@@ -110,6 +110,13 @@ class JobRecord:
     #: Cumulative wall seconds spent writing checkpoints + this record —
     #: the store's overhead, bounded by ``benchmarks/bench_store.py``.
     checkpoint_wall_seconds: float = 0.0
+    #: Fencing token of the last lease-holding writer (0 = never run
+    #: under a lease).  A worker whose lease carries a *smaller* token
+    #: than this refuses to commit — its job was taken over while it
+    #: was paused (:mod:`repro.service.lease`).
+    fencing_token: int = 0
+    #: Worker id of the last process to run this job (audit trail).
+    worker: Optional[str] = None
 
     @classmethod
     def new(cls, request: TuneRequest, priority: int = 0) -> "JobRecord":

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 import traceback
 from contextlib import contextmanager
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.collecting import Collector, PerformanceVector, TrainingSet
 from repro.core.tuner import DacTuner, TuningReport
@@ -42,7 +42,8 @@ from repro.engine import (
     InProcessBackend,
 )
 from repro.service.budget import BudgetedBackend, BudgetExceeded
-from repro.service.jobs import DONE, FAILED, RUNNING, JobRecord, TuneRequest
+from repro.service.jobs import CANCELLED, DONE, FAILED, RUNNING, JobRecord, TuneRequest
+from repro.service.lease import Lease, LeaseLost
 from repro.store import RunStore, report_fingerprint
 from repro.telemetry import events as tele
 from repro.telemetry.events import Telemetry
@@ -86,14 +87,39 @@ class JobRunner:
         self.engine_factory = engine_factory or InProcessBackend
         self.use_cache = use_cache
         self.checkpoint_every = checkpoint_every
+        #: Per-job leases for runs in flight (keyed by job id so one
+        #: runner can drive several jobs from pool threads).
+        self._leases: Dict[str, Lease] = {}
 
     # ------------------------------------------------------------------
-    def run(self, record: JobRecord) -> JobRecord:
+    def run(self, record: JobRecord, lease: Optional[Lease] = None) -> JobRecord:
         """Run ``record`` to completion (or failure), checkpointing.
 
         Safe to call on a fresh job or on one found mid-flight after a
-        crash: every phase first reads its own durable progress.
+        crash: every phase first reads its own durable progress.  With
+        a ``lease``, every checkpoint renews it and verifies the
+        fencing token; losing the lease (taken over while this worker
+        was stalled) abandons the job without committing anything
+        further — the usurper owns it now.
         """
+        if lease is not None:
+            self._leases[record.job_id] = lease
+        try:
+            return self._run(record)
+        except LeaseLost as exc:
+            # Everything after the loss was rejected before reaching
+            # the store; the record on disk belongs to the new holder.
+            record.error = str(exc)
+            return record
+        finally:
+            held = self._leases.pop(record.job_id, None)
+            if held is not None:
+                try:
+                    held.release()
+                except OSError:  # pragma: no cover - lease dir vanished
+                    pass
+
+    def _run(self, record: JobRecord) -> JobRecord:
         record.state = RUNNING
         record.sessions += 1
         session = str(record.sessions)
@@ -110,12 +136,22 @@ class JobRunner:
                     session=record.sessions,
                 ):
                     self._execute(record, engine, session)
+                    if record.state == DONE:
+                        tele.event(
+                            "job.completed",
+                            job_id=record.job_id,
+                            worker=record.worker,
+                            fencing_token=record.fencing_token,
+                            sessions=record.sessions,
+                        )
         except BudgetExceeded as exc:
             record.state = FAILED
             record.error = str(exc)
         except ExecutionError as exc:
             record.state = FAILED
             record.error = f"substrate failure: {exc}"
+        except LeaseLost:
+            raise  # not a job failure: the job moved to another worker
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             record.state = FAILED
             record.error = "".join(
@@ -434,9 +470,37 @@ class JobRunner:
         if engine is not None:
             stats = engine.stats
             record.runs_by_session[session] = int(stats.runs - stats.cache_hits)
+        lease = self._leases.get(record.job_id)
+        if lease is not None:
+            lease.renew()  # LeaseLost when the job was taken over
+            self._guard_fencing(record, lease)
+            record.fencing_token = lease.token
+            record.worker = lease.worker
         record.touch()
         self.store.save_job(record.job_id, record.to_dict())
         record.checkpoint_wall_seconds += time.perf_counter() - start
+
+    def _guard_fencing(self, record: JobRecord, lease: Lease) -> None:
+        """Refuse to commit over a higher token's (or a cancelled) record.
+
+        The lease renewal above already rejects most stale writers; this
+        closes the remaining window where a stealer replaced the lease
+        *after* our renewal read, by checking the durable record itself
+        — the newest committed fencing token always wins.
+        """
+        data = self.store.load_job(record.job_id)
+        if data is None:
+            return
+        committed = int(data.get("fencing_token") or 0)
+        if committed > lease.token:
+            raise LeaseLost(
+                f"job {record.job_id}: committed fencing token {committed} "
+                f"outranks ours ({lease.token}); dropping stale write"
+            )
+        if data.get("state") == CANCELLED:
+            raise LeaseLost(
+                f"job {record.job_id}: cancelled by another process"
+            )
 
     @staticmethod
     def _hours(training: TrainingSet) -> float:

@@ -3,27 +3,48 @@
 :class:`JobService` is the front door of the serving layer.  It accepts
 :class:`~repro.service.jobs.TuneRequest`\\ s, persists them as queued
 :class:`~repro.service.jobs.JobRecord`\\ s, and drains the queue through
-a bounded worker pool of :class:`~repro.service.runner.JobRunner`\\ s —
-highest priority first, FIFO within a priority.  Admission control is
-two-sided: a cap on how many unfinished jobs the store may hold
-(:class:`AdmissionError` past it) and a default per-job substrate-run
-budget applied to requests that carry none.
+:class:`~repro.service.runner.JobRunner`\\ s — highest priority first,
+FIFO within a priority.  Admission control is two-sided: a cap on how
+many unfinished jobs the store may hold (:class:`AdmissionError` past
+it) and a default per-job substrate-run budget applied to requests that
+carry none.
 
 Everything durable lives in the store, so a service object is
 stateless: kill the process, construct a new service on the same
 directory, and ``resume()`` picks up every interrupted job from its
 last checkpoint.
+
+**Multi-host.**  Any number of service processes — on any hosts that
+see the same store directory — may drain one queue concurrently.  Each
+claim goes through a per-job lease
+(:class:`~repro.service.lease.LeaseManager`): acquire before running,
+renew at every checkpoint, and re-read the job record *after* the
+lease lands, so a job another process already moved out of ``queued``
+is skipped rather than double-run.  :meth:`work` is the long-lived
+worker loop behind ``repro worker``: it polls for queued jobs and for
+running jobs whose lease expired (a crashed or stalled worker
+elsewhere) and resumes those from their last durable checkpoint.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.engine import ExecutionBackend
-from repro.service.jobs import CANCELLED, DONE, QUEUED, JobRecord, TuneRequest
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    TuneRequest,
+)
+from repro.service.lease import Lease, LeaseHeld, LeaseManager
 from repro.service.runner import JobRunner
 from repro.store import RunStore
 
@@ -44,6 +65,8 @@ class JobService:
         default_budget: Optional[int] = None,
         use_cache: bool = True,
         checkpoint_every: int = 1,
+        worker_id: Optional[str] = None,
+        lease_ttl: float = 30.0,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -53,12 +76,20 @@ class JobService:
         self.max_concurrent = max_concurrent
         self.max_queued = max_queued
         self.default_budget = default_budget
+        self.leases = LeaseManager(
+            self.store.lease_dir, worker_id=worker_id, ttl=lease_ttl
+        )
         self.runner = JobRunner(
             self.store,
             engine_factory=engine_factory,
             use_cache=use_cache,
             checkpoint_every=checkpoint_every,
         )
+
+    @property
+    def worker_id(self) -> str:
+        """This service's worker identity (lease ownership)."""
+        return self.leases.worker_id
 
     # -- queue ----------------------------------------------------------
     def submit(self, request: TuneRequest, priority: int = 0) -> JobRecord:
@@ -90,11 +121,54 @@ class JobService:
         queue.sort(key=lambda job: (-job.priority, job.created, job.job_id))
         return queue
 
+    def claimable(self) -> List[JobRecord]:
+        """Work this worker could lease right now, in scheduling order.
+
+        Queued jobs, plus running jobs whose lease is absent or expired
+        — the signature of a worker that died (or stalled past its TTL)
+        mid-job and whose checkpoints are waiting to be taken over.
+        """
+        candidates = []
+        for job in self.jobs():
+            if job.state not in (QUEUED, RUNNING):
+                continue
+            if self.leases.holder(job.job_id) is None:
+                candidates.append(job)
+        candidates.sort(key=lambda job: (-job.priority, job.created, job.job_id))
+        return candidates
+
     def get(self, job_id: str) -> JobRecord:
         data = self.store.load_job(job_id)
         if data is None:
             raise KeyError(f"no such job: {job_id}")
         return JobRecord.from_dict(data)
+
+    # -- claiming -------------------------------------------------------
+    def claim(
+        self, job_id: str, states: Sequence[str] = (QUEUED,)
+    ) -> Optional[Tuple[JobRecord, Lease]]:
+        """Lease ``job_id`` and re-read its record; ``None`` if not ours.
+
+        The re-read *after* the lease closes the stale-listing window:
+        between listing the queue and acquiring the lease, another
+        process may have claimed, finished, or cancelled the job — the
+        in-memory listing must never be trusted for the run decision.
+        A claim fails softly (``None``) when the lease is held or the
+        fresh record's state is not in ``states``.
+        """
+        lease = self.leases.acquire(job_id)
+        if lease is None:
+            return None
+        data = self.store.load_job(job_id)
+        record: Optional[JobRecord]
+        try:
+            record = JobRecord.from_dict(data) if data is not None else None
+        except (TypeError, ValueError):
+            record = None
+        if record is None or record.state not in states:
+            lease.release()
+            return None
+        return record, lease
 
     # -- execution ------------------------------------------------------
     def run_pending(self, max_jobs: Optional[int] = None) -> List[JobRecord]:
@@ -102,34 +176,98 @@ class JobService:
         queue = self.pending()
         if max_jobs is not None:
             queue = queue[:max_jobs]
-        return self._run_all(queue)
+        return self._run_all([job.job_id for job in queue], states=(QUEUED,))
 
     def resume(self, job_id: str, budget: Optional[int] = None) -> JobRecord:
         """Continue one interrupted job from its last durable checkpoint.
 
         ``budget`` replaces the request's per-session substrate-run
         budget — the escape hatch for a job that failed by exhausting
-        its previous one.
+        its previous one.  Raises :class:`~repro.service.lease.LeaseHeld`
+        when another worker's valid lease covers the job.
         """
         record = self.get(job_id)
         if record.state == DONE:
             return record
         if record.state == CANCELLED:
             raise ValueError(f"{job_id} is cancelled; submit a new job")
+        lease = self.leases.acquire(job_id)
+        if lease is None:
+            holder = self.leases.holder(job_id)
+            raise LeaseHeld(
+                f"{job_id} is leased by worker "
+                f"{holder.worker if holder else '(contended)'}"
+                + (
+                    f" until {holder.expires:.0f}" if holder else ""
+                )
+            )
+        self.store.refresh()  # another process may have written checkpoints
+        record = self.get(job_id)  # re-read under the lease
+        if record.state == DONE:
+            lease.release()
+            return record
+        if record.state == CANCELLED:
+            lease.release()
+            raise ValueError(f"{job_id} is cancelled; submit a new job")
         if budget is not None:
             record.request = replace(record.request, budget=budget)
-        self.store.refresh()  # another process may have written checkpoints
-        return self.runner.run(record)
+        return self.runner.run(record, lease=lease)
 
     def resume_all(self) -> List[JobRecord]:
         """Resume every resumable (queued/failed/crashed-running) job."""
         self.store.refresh()
         resumable = [job for job in self.jobs() if job.resumable]
         resumable.sort(key=lambda job: (-job.priority, job.created, job.job_id))
-        return self._run_all(resumable)
+        return self._run_all(
+            [job.job_id for job in resumable], states=(QUEUED, RUNNING, FAILED)
+        )
+
+    def work(
+        self,
+        poll_interval: float = 1.0,
+        max_jobs: Optional[int] = None,
+        idle_polls: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> List[JobRecord]:
+        """The worker loop behind ``repro worker``: poll, claim, run.
+
+        Each iteration refreshes the store, claims the highest-priority
+        claimable job (queued, or running under an expired lease —
+        another worker's crash), and runs it from its last durable
+        checkpoint.  Returns after ``max_jobs`` finished jobs, after
+        ``idle_polls`` consecutive empty polls, or when ``should_stop``
+        returns true; with none of them set, loops forever.
+        """
+        finished: List[JobRecord] = []
+        idle = 0
+        while True:
+            if should_stop is not None and should_stop():
+                break
+            self.store.refresh()
+            ran = None
+            for job in self.claimable():
+                ran = self._claim_and_run(job.job_id, states=(QUEUED, RUNNING))
+                if ran is not None:
+                    break
+            if ran is None:
+                idle += 1
+                if idle_polls is not None and idle >= idle_polls:
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle = 0
+            finished.append(ran)
+            if max_jobs is not None and len(finished) >= max_jobs:
+                break
+        return finished
 
     def cancel(self, job_id: str) -> JobRecord:
-        """Mark an unfinished job cancelled (its checkpoints remain)."""
+        """Mark an unfinished job cancelled (its checkpoints remain).
+
+        A worker mid-run on the job notices at its next checkpoint —
+        the fencing guard refuses to commit over a cancelled record —
+        and abandons it.
+        """
         record = self.get(job_id)
         if record.state == DONE:
             raise ValueError(f"{job_id} already finished")
@@ -139,10 +277,25 @@ class JobService:
         return record
 
     # ------------------------------------------------------------------
-    def _run_all(self, records: List[JobRecord]) -> List[JobRecord]:
-        if not records:
+    def _claim_and_run(
+        self, job_id: str, states: Sequence[str]
+    ) -> Optional[JobRecord]:
+        claimed = self.claim(job_id, states=states)
+        if claimed is None:
+            return None
+        record, lease = claimed
+        return self.runner.run(record, lease=lease)
+
+    def _run_all(
+        self, job_ids: List[str], states: Sequence[str]
+    ) -> List[JobRecord]:
+        if not job_ids:
             return []
-        if self.max_concurrent == 1 or len(records) == 1:
-            return [self.runner.run(record) for record in records]
-        with ThreadPoolExecutor(max_workers=self.max_concurrent) as pool:
-            return list(pool.map(self.runner.run, records))
+        if self.max_concurrent == 1 or len(job_ids) == 1:
+            finished = [self._claim_and_run(i, states) for i in job_ids]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_concurrent) as pool:
+                finished = list(
+                    pool.map(lambda i: self._claim_and_run(i, states), job_ids)
+                )
+        return [record for record in finished if record is not None]

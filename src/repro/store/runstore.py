@@ -17,6 +17,8 @@ On disk::
       events/<id>.jsonl    per-job telemetry event logs (append across
                            sessions, readable by ``repro trace``)
       cache/               the engine's on-disk result cache
+      leases/              per-job worker leases + fencing-token ledger
+                           (:mod:`repro.service.lease`)
 
 Crash safety is layered: blobs are self-verifying artifact containers
 written via tmp-file + atomic rename (:mod:`repro.store.artifacts`);
@@ -105,7 +107,7 @@ class RunStore:
             )
         else:
             raise StoreError(f"{self.root}: not a run store")
-        for sub in ("objects", "jobs", "events", "cache"):
+        for sub in ("objects", "jobs", "events", "cache", "leases"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # -- paths ----------------------------------------------------------
@@ -113,6 +115,11 @@ class RunStore:
     def cache_dir(self) -> Path:
         """Directory for the engine's :class:`CachedBackend` disk cache."""
         return self.root / "cache"
+
+    @property
+    def lease_dir(self) -> Path:
+        """Directory for per-job worker leases (:mod:`repro.service.lease`)."""
+        return self.root / "leases"
 
     def event_log_path(self, job_id: str) -> Path:
         """The per-job JSONL telemetry event log (append across sessions)."""

@@ -1,8 +1,27 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli.main import build_parser, main
+
+SRC = str(Path(__file__).parent.parent / "src")
+
+
+def _repro(*argv: str) -> subprocess.CompletedProcess:
+    """Run ``repro`` as a genuinely separate process (shared-store tests)."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
 
 
 class TestParser:
@@ -177,6 +196,118 @@ class TestJobsCommand:
     def test_status_of_missing_job_errors(self, capsys, tmp_path):
         store = str(tmp_path / "store")
         assert main(["jobs", "status", "nope", "--store", store]) == 2
+
+
+class TestJobsCliAcrossProcesses:
+    """``repro jobs`` against a store another process populated.
+
+    The store is the only channel: one process submits (or runs), a
+    different one lists, inspects, cancels, and follows — the CLI story
+    the multi-host worker design depends on.
+    """
+
+    FAST = TestJobsCommand.FAST
+
+    def test_list_status_cancel_jobs_submitted_elsewhere(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        submitted = _repro(
+            "jobs", "submit", "TS", "--size", "10", *self.FAST, "--store", store
+        )
+        assert submitted.returncode == 0, submitted.stderr
+        job_id = submitted.stdout.strip().splitlines()[-1]
+        assert job_id.startswith("ts-")
+
+        assert main(["jobs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "queued" in out
+
+        assert main(["jobs", "status", job_id, "--store", store]) == 0
+        assert "state: queued" in capsys.readouterr().out
+
+        assert main(["jobs", "cancel", job_id, "--store", store]) == 0
+        capsys.readouterr()
+        # ... and the cancel is visible back in a third process
+        status = _repro("jobs", "status", job_id, "--store", store)
+        assert status.returncode == 0 and "cancelled" in status.stdout
+
+    def test_status_reflects_run_in_other_process(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["jobs", "submit", "TS", "--collect-only", *self.FAST, "--store", store]
+        ) == 0
+        job_id = capsys.readouterr().out.strip()
+        ran = _repro("jobs", "run", "--store", store, "--no-cache")
+        assert ran.returncode == 0, ran.stderr
+        assert main(["jobs", "status", job_id, "--store", store]) == 0
+        assert "state: done" in capsys.readouterr().out
+
+    def test_trace_follow_ends_cleanly_when_job_completes(self, capsys, tmp_path):
+        """``repro trace --follow`` on a job another process is running:
+        the stream carries the live session and, once ``job.completed``
+        lands and the log goes quiet, the idle timeout ends the follow
+        with a clean exit — no hang, no error."""
+        store = tmp_path / "store"
+        assert main(
+            ["jobs", "submit", "TS", "--collect-only", *self.FAST,
+             "--store", str(store)]
+        ) == 0
+        job_id = capsys.readouterr().out.strip()
+        events = store / "events" / f"{job_id}.jsonl"
+
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "jobs", "run",
+             "--store", str(store), "--no-cache"],
+            env={**os.environ, "PYTHONPATH": SRC},
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            code = main(
+                ["trace", str(events), "--follow", "--idle-timeout", "2"]
+            )
+        finally:
+            child.wait(timeout=300)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collect" in out
+        assert "job.completed" in out  # the follow saw the job finish
+
+
+class TestWorkerCommand:
+    """The ``repro worker`` front end over the lease-based loop."""
+
+    FAST = TestJobsCommand.FAST
+
+    def test_parser_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_drains_store_and_logs_leases(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        submitted = _repro(
+            "jobs", "submit", "TS", "--collect-only", *self.FAST, "--store", store
+        )
+        job_id = submitted.stdout.strip().splitlines()[-1]
+
+        code = main(
+            ["worker", "--store", store, "--worker-id", "w-cli",
+             "--poll-interval", "0.01", "--exit-when-idle", "2", "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "done" in out
+
+        log_path = tmp_path / "store" / "events" / "worker-w-cli.jsonl"
+        names = [
+            json.loads(line).get("name")
+            for line in log_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert "worker.started" in names
+        assert "lease.acquired" in names
+        assert "lease.released" in names
+        assert "job.completed" in names
+        assert names[-1] == "worker.exit"
 
 
 class TestStoreFlagOnTuneCollect:

@@ -1,0 +1,122 @@
+"""Property-based tests of the lease state machine.
+
+Hypothesis drives random interleavings of acquire / renew / release /
+clock-advance across several workers contending for one job, and
+checks the two invariants everything else in the multi-host design
+leans on:
+
+* **mutual exclusion** — at any instant, at most one worker believes
+  it holds a valid (unexpired, on-disk, token-matching) lease;
+* **monotonic fencing** — the sequence of tokens handed out by
+  successful acquisitions is strictly increasing, with no reuse, no
+  matter how leases expire, get stolen, or are released and re-taken.
+
+The managers share one directory and one fake clock — the filesystem
+is the only channel between them, exactly as on real shared storage.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import LeaseLost, LeaseManager
+
+JOB = "job-under-test"
+TTL = 10.0
+WORKERS = ("alpha", "beta", "gamma")
+
+#: One step of the interleaving: who acts, and how.
+ACTIONS = st.tuples(
+    st.sampled_from(WORKERS),
+    st.sampled_from(("acquire", "renew", "release")),
+)
+STEPS = st.lists(
+    st.one_of(ACTIONS, st.floats(min_value=0.1, max_value=15.0)),
+    min_size=1,
+    max_size=40,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 1_000.0
+
+    def __call__(self):
+        return self.now
+
+
+@settings(max_examples=120, deadline=None)
+@given(steps=STEPS)
+def test_lease_interleavings_hold_invariants(steps):
+    # tempfile, not a pytest fixture: hypothesis re-enters the test
+    # body per example, and a function-scoped tmp_path would be reused.
+    with tempfile.TemporaryDirectory() as tmp:
+        clock = Clock()
+        managers = {
+            w: LeaseManager(Path(tmp) / "leases", w, ttl=TTL, clock=clock)
+            for w in WORKERS
+        }
+        held = {w: None for w in WORKERS}  # the lease each worker believes in
+        granted = []  # tokens in acquisition order
+
+        for step in steps:
+            if isinstance(step, float):
+                clock.now += step
+                continue
+            worker, action = step
+            manager, lease = managers[worker], held[worker]
+            if action == "acquire":
+                fresh = manager.acquire(JOB)
+                if fresh is not None:
+                    granted.append(fresh.token)
+                    held[worker] = fresh
+            elif action == "renew" and lease is not None:
+                try:
+                    lease.renew()
+                except LeaseLost:
+                    held[worker] = None
+            elif action == "release" and lease is not None:
+                lease.release()
+                held[worker] = None
+
+            # -- invariant: strictly monotonic, never-reused tokens
+            assert granted == sorted(granted)
+            assert len(set(granted)) == len(granted)
+
+            # -- invariant: at most one believed-valid holder
+            believers = [
+                w
+                for w, current in held.items()
+                if current is not None
+                and managers[w].holder(JOB) is not None
+                and managers[w].holder(JOB).worker == w
+                and managers[w].holder(JOB).token == current.token
+            ]
+            assert len(believers) <= 1
+
+            # -- invariant: a valid lease blocks every new acquisition
+            if believers:
+                blocked = next(w for w in WORKERS if w != believers[0])
+                assert managers[blocked].acquire(JOB) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(cycles=st.integers(min_value=1, max_value=12))
+def test_tokens_strictly_increase_across_expiry_cycles(cycles):
+    """Every grant after an expiry outranks the corpse — the property
+    the fencing guard in the runner depends on."""
+    with tempfile.TemporaryDirectory() as tmp:
+        clock = Clock()
+        alpha = LeaseManager(Path(tmp) / "leases", "alpha", ttl=TTL, clock=clock)
+        beta = LeaseManager(Path(tmp) / "leases", "beta", ttl=TTL, clock=clock)
+        last = 0
+        for i in range(cycles):
+            manager = alpha if i % 2 == 0 else beta
+            lease = manager.acquire(JOB)
+            assert lease is not None and lease.token > last
+            last = lease.token
+            clock.now += TTL + 1  # let it rot; the next cycle steals it

@@ -266,3 +266,54 @@ class TestBudget:
         engine = BudgetedBackend(InProcessBackend(), budget=None)
         assert engine.submit([]) == []
         engine.close()
+
+    def test_budget_reaches_zero_mid_batch(self):
+        """The gate sits between batches: a batch in flight completes
+        even when it spends the last of the budget (and then some)."""
+        from repro.engine import ExecRequest
+        from repro.core.baselines import default_configuration
+
+        workload = get_workload("TS")
+        batch = [
+            ExecRequest(job=workload.job(size), config=default_configuration())
+            for size in (10.0, 20.0)
+        ]
+        engine = BudgetedBackend(InProcessBackend(), budget=1)
+        assert len(engine.submit(batch)) == 2  # in-flight batch completes
+        assert engine.executed == 2  # documented overshoot
+        with pytest.raises(BudgetExceeded, match="2 executed, budget 1"):
+            engine.submit(batch[:1])
+        engine.close()
+
+    def test_exhaustion_exactly_at_batch_boundary(self, tmp_path):
+        """Budget == first collect batch: the budget hits zero at the
+        very instant a checkpoint lands, and the next batch's submit —
+        not some mid-batch accident — fails the job."""
+        from repro.core.collecting import Collector
+
+        request = _request()
+        batches = Collector(
+            get_workload(request.program), seed=request.seed
+        ).plan(request.n_train, stream="train")
+        assert len(batches) >= 2  # boundary needs a next batch to refuse
+        first = len(batches[0].requests)
+
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request(budget=first))
+        (failed,) = service.run_pending()
+        assert failed.state == FAILED
+        assert "budget exhausted" in failed.error
+        assert failed.progress["collect"]["batches_done"] == 1
+        assert failed.runs_by_session == {"1": first}  # spent exactly
+
+        # -- resume with a fresh budget: finishes, and the answer is the
+        # same as an uninterrupted run's (exhaustion is a pause, not a
+        # perturbation).
+        resumed = service.resume(record.job_id, budget=request.n_train)
+        assert resumed.state == DONE
+        runs = {int(k): v for k, v in resumed.runs_by_session.items()}
+        assert runs[2] == request.n_train - first  # only the suffix
+        assert sum(runs.values()) == request.n_train
+        assert resumed.result["fingerprint"] == report_fingerprint(
+            _reference_report(request)
+        )
