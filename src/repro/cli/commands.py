@@ -501,6 +501,27 @@ def cmd_worker(args: argparse.Namespace) -> int:
         worker_id=worker_id,
         lease_ttl=args.lease_ttl,
     )
+
+    drain_hook = None
+    stop_event = None
+    if getattr(args, "drain", False):
+        import signal
+        import threading
+
+        stop_event = threading.Event()
+
+        def _request_drain(signum, frame):
+            stop_event.set()
+
+        try:
+            signal.signal(signal.SIGTERM, _request_drain)
+            signal.signal(signal.SIGINT, _request_drain)
+        except ValueError:
+            # Not the main thread (embedded use): callers must set the
+            # event through service.work(drain=...) themselves.
+            pass
+        drain_hook = stop_event.is_set
+
     log_path = service.store.root / "events" / f"worker-{worker_id}.jsonl"
     sink = JsonlSink(log_path, append=True, live=True)
     session = Telemetry([sink])
@@ -516,10 +537,15 @@ def cmd_worker(args: argparse.Namespace) -> int:
             poll_interval=args.poll_interval,
             max_jobs=getattr(args, "max_jobs", None),
             idle_polls=getattr(args, "exit_when_idle", None),
+            drain=drain_hook,
         )
     except KeyboardInterrupt:
         log.info("worker %s interrupted", worker_id)
     finally:
+        if stop_event is not None and stop_event.is_set():
+            telemetry.event("worker.drained", worker=worker_id)
+            log.info("worker %s drained (checkpoint persisted, lease released)",
+                     worker_id)
         telemetry.event("worker.exit", worker=worker_id, jobs=len(finished))
         install(previous)
         session.close()

@@ -276,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: poll forever)")
     worker.add_argument("--no-cache", action="store_true",
                         help="do not reuse substrate runs from the store cache")
+    worker.add_argument("--drain", action="store_true",
+                        help="graceful shutdown on SIGTERM/SIGINT: finish the "
+                        "checkpoint in progress, release the lease and exit 0 "
+                        "(the job stays resumable)")
     _add_engine_flags(worker)
     worker.set_defaults(handler=commands.cmd_worker)
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.common.space import Configuration, ConfigurationSpace
 from repro.telemetry import events as tele
+from repro.telemetry.metrics import get_registry
 
 #: Paper-stated per-gene mutation rate (Figure 6: "Mutate (rate:0.01)").
 DEFAULT_MUTATION_RATE = 0.01
@@ -36,12 +37,84 @@ class GaResult:
 
     @property
     def converged_at(self) -> int:
-        """First generation whose best is within 0.5% of the final best."""
-        threshold = self.best_fitness * 1.005
+        """First generation whose best is within 0.5% of the final best.
+
+        The margin is ``0.005 * |best|`` *above* the final best, which
+        stays a tolerance for any sign of fitness — the generic
+        :class:`repro.core.search.SearchStrategy` interface allows zero
+        and negative objectives, where a naive ``best * 1.005`` would
+        shrink toward (or invert past) the optimum and mark only the
+        final generation converged.
+        """
+        threshold = self.best_fitness + 0.005 * abs(self.best_fitness)
         for i, value in enumerate(self.history):
             if value <= threshold:
                 return i
         return len(self.history) - 1
+
+
+class MemoizedFitness:
+    """Exact per-individual fitness memo keyed on gene-vector bytes.
+
+    Elites survive generations unchanged and selection/crossover clone
+    rows verbatim, so a GA population routinely re-contains vectors that
+    were already scored.  Model fitness is row-independent (binning,
+    tree traversal, blending and ``exp`` all act per sample), so scoring
+    only the unseen rows as a sub-matrix returns bit-identical values —
+    the memo changes how often the model runs, never what the GA sees.
+
+    Cache keys are the raw float64 bytes of each row: exact equality
+    only, no tolerance. ``hits``/``misses`` mirror the
+    ``ga.fitness_cache.{hits,misses}`` telemetry counters.
+    """
+
+    def __init__(
+        self,
+        fitness: Callable[[np.ndarray], np.ndarray],
+        max_entries: int = 65536,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._fitness = fitness
+        self._cache: dict = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, pop: np.ndarray) -> np.ndarray:
+        pop = np.ascontiguousarray(np.asarray(pop, dtype=float))
+        keys = [row.tobytes() for row in pop]
+        out = np.empty(len(pop), dtype=float)
+        miss_rows: List[int] = []
+        for i, key in enumerate(keys):
+            value = self._cache.get(key)
+            if value is None:
+                miss_rows.append(i)
+            else:
+                out[i] = value
+        hits = len(pop) - len(miss_rows)
+        self.hits += hits
+        self.misses += len(miss_rows)
+        if miss_rows:
+            rows = np.array(miss_rows)
+            values = np.asarray(self._fitness(pop[rows]), dtype=float)
+            if values.shape != (len(rows),):
+                raise ValueError("fitness must return one value per row")
+            out[rows] = values
+            for i, value in zip(miss_rows, values):
+                if len(self._cache) >= self.max_entries:
+                    # Drop the oldest entry (insertion-ordered dict).
+                    self._cache.pop(next(iter(self._cache)))
+                self._cache[keys[i]] = float(value)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "ga.fitness_cache.hits", "fitness rows served from the memo"
+            ).inc(hits)
+            registry.counter(
+                "ga.fitness_cache.misses", "fitness rows evaluated by the model"
+            ).inc(len(miss_rows))
+        return out
 
 
 @dataclass

@@ -23,7 +23,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.space import Configuration, ConfigurationSpace
-from repro.core.ga import GeneticAlgorithm
+from repro.core.ga import GeneticAlgorithm, MemoizedFitness
 
 Fitness = Callable[[np.ndarray], np.ndarray]
 
@@ -246,6 +246,10 @@ class GaSearch(SearchStrategy):
     def minimize(self, fitness, budget, rng, seed_vectors=None):
         generations = max(1, budget // self.population_size - 1)
         ga = GeneticAlgorithm(self.space, population_size=self.population_size)
+        if not isinstance(fitness, MemoizedFitness):
+            # Elites/clones recur across generations; the memo returns
+            # their exact prior scores without touching the model.
+            fitness = MemoizedFitness(fitness)
         result = ga.minimize(
             fitness, rng, generations=generations,
             seed_vectors=seed_vectors, patience=None,

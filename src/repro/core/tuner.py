@@ -27,7 +27,7 @@ import numpy as np
 from repro.common.rng import derive_rng
 from repro.common.space import Configuration, ConfigurationSpace
 from repro.core.collecting import Collector, TrainingSet
-from repro.core.ga import GaResult, GaState, GeneticAlgorithm
+from repro.core.ga import GaResult, GaState, GeneticAlgorithm, MemoizedFitness
 from repro.engine import EngineStats, ExecutionBackend
 from repro.models.hierarchical import HierarchicalModel
 from repro.sparksim.cluster import PAPER_CLUSTER, ClusterSpec
@@ -166,7 +166,9 @@ class DacTuner:
             log_times = self.training_set.log_times()
             if resume_model is not None:
                 self.model = resume_model
-                self.model.resume_fit(features, log_times, checkpoint=checkpoint)
+                self.model.resume_fit(
+                    features, log_times, checkpoint=checkpoint, engine=self.engine
+                )
             else:
                 self.model = HierarchicalModel(
                     n_trees=self.n_trees,
@@ -175,7 +177,9 @@ class DacTuner:
                     target_accuracy=self.target_accuracy,
                     random_state=self.seed,
                 )
-                self.model.fit(features, log_times, checkpoint=checkpoint)
+                self.model.fit(
+                    features, log_times, checkpoint=checkpoint, engine=self.engine
+                )
             span.note(holdout_error=float(self.model.holdout_error_))
         self._modeling_seconds = time.perf_counter() - start
         return self.model
@@ -189,7 +193,12 @@ class DacTuner:
         return float(np.exp(self.model.predict(row[None, :])[0]))
 
     def fitness_for(self, datasize: float):
-        """The GA objective for one target size: model-predicted seconds."""
+        """The GA objective for one target size: model-predicted seconds.
+
+        Wrapped in a :class:`~repro.core.ga.MemoizedFitness`: every
+        prediction step is row-independent, so elites and clones are
+        served their exact prior scores without touching the model.
+        """
         self._require_model()
         assert self.training_set is not None and self.model is not None
         job_bytes = self.workload.bytes_for(datasize)
@@ -200,7 +209,7 @@ class DacTuner:
             rows = np.column_stack([pop, np.full(len(pop), size_feature)])
             return np.exp(model.predict(rows))
 
-        return fitness
+        return MemoizedFitness(fitness)
 
     def tune(
         self,

@@ -97,6 +97,12 @@ class ExecutionBackend(abc.ABC):
     #: Short identifier stamped on every outcome this backend produces.
     name: str = "backend"
 
+    #: True when :meth:`map_tasks` actually runs tasks concurrently.
+    #: Callers with speculative work (e.g. parallel HM component
+    #: training that may overshoot an early stop) consult this to avoid
+    #: wasting compute on serial backends.
+    supports_parallel_tasks: bool = False
+
     def __init__(self) -> None:
         self._recorder = StatsRecorder()
 
@@ -117,6 +123,18 @@ class ExecutionBackend(abc.ABC):
     def run(self, job: JobSpec, config: Configuration) -> RunResult:
         """Single-request sugar; raises :class:`ExecutionError` on failure."""
         return require_success(self.submit([ExecRequest(job=job, config=config)]))[0]
+
+    def map_tasks(self, fn, items: Sequence) -> List:
+        """Generic compute fan-out: ``[fn(item) for item in items]``.
+
+        Unlike :meth:`submit` this runs arbitrary picklable work (model
+        training, not substrate requests) on the backend's resources.
+        The base implementation is sequential; pool backends override it
+        and set :attr:`supports_parallel_tasks`.  ``fn`` must be a
+        module-level callable when the backend crosses process
+        boundaries.
+        """
+        return [fn(item) for item in items]
 
     @property
     def stats(self) -> EngineStats:
@@ -220,6 +238,7 @@ class ProcessPoolBackend(ExecutionBackend):
     """
 
     name = "processpool"
+    supports_parallel_tasks = True
 
     def __init__(
         self,
@@ -262,6 +281,12 @@ class ProcessPoolBackend(ExecutionBackend):
         for outcome in outcomes:
             self._recorder.record(outcome)
         return outcomes
+
+    def map_tasks(self, fn, items: Sequence) -> List:
+        """Run ``fn`` over ``items`` on the worker pool, order preserved."""
+        if not items:
+            return []
+        return list(self._pool().map(fn, items))
 
     def signature(self) -> str:
         sigma = (

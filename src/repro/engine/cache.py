@@ -92,6 +92,14 @@ class CachedBackend(ExecutionBackend):
     def signature(self) -> str:
         return self._signature
 
+    @property
+    def supports_parallel_tasks(self) -> bool:
+        return self.inner.supports_parallel_tasks
+
+    def map_tasks(self, fn, items):
+        # Generic compute is not request-shaped; pass it straight down.
+        return self.inner.map_tasks(fn, items)
+
     def submit(self, requests: Sequence[ExecRequest]) -> List[ExecOutcome]:
         registry = get_registry()
         outcomes: List[Optional[ExecOutcome]] = [None] * len(requests)

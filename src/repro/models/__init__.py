@@ -17,6 +17,7 @@ interface ``fit(X, y) -> self`` / ``predict(X) -> ndarray``.
 
 from repro.models.ann import NeuralNetworkRegressor
 from repro.models.boosting import GradientBoostedTrees
+from repro.models.flat import FlatForest, FlatTree, MergedBinner
 from repro.models.forest import RandomForest
 from repro.models.hierarchical import HierarchicalModel
 from repro.models.metrics import (
@@ -39,8 +40,11 @@ from repro.models.validation import (
 __all__ = [
     "BinnedDataset",
     "CvResult",
+    "FlatForest",
+    "FlatTree",
     "GradientBoostedTrees",
     "HierarchicalModel",
+    "MergedBinner",
     "NeuralNetworkRegressor",
     "RandomForest",
     "RegressionTree",

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.models.flat import FlatForest, accumulate, observe_predict, timed
 from repro.models.metrics import mean_relative_error
 from repro.models.tree import BinnedDataset, RegressionTree
 
@@ -79,6 +80,7 @@ class GradientBoostedTrees:
         self._trees: List[RegressionTree] = []
         self._base: float = 0.0
         self._binner: Optional[BinnedDataset] = None
+        self._flat: Optional[FlatForest] = None
         #: Validation error after each accepted tree (for Figure 8 curves).
         self.validation_errors_: List[float] = []
         self.stopped_reason_: str = "not fitted"
@@ -119,6 +121,7 @@ class GradientBoostedTrees:
         val_codes = self._binner.bin_matrix(X[val_idx])
         self._base = float(np.mean(y_train))
         self._trees = []
+        self._flat = None
         self.validation_errors_ = []
 
         residual = y_train - self._base
@@ -158,13 +161,45 @@ class GradientBoostedTrees:
         return self
 
     # ------------------------------------------------------------------
+    def flatten(self) -> FlatForest:
+        """The whole ensemble as one cached stacked node table."""
+        if self._binner is None:
+            raise RuntimeError("model is not fitted")
+        if self._flat is None or self._flat.n_trees != len(self._trees):
+            self._flat = FlatForest.from_trees(self._trees)
+        return self._flat
+
     def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._binner is None:
+            raise RuntimeError("model is not fitted")
+        out, seconds = timed(
+            lambda: self.predict_codes(
+                self._binner.bin_matrix(np.asarray(X, dtype=float))
+            )
+        )
+        observe_predict("flat", "gbt", len(out), seconds)
+        return out
+
+    def predict_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Predict from codes already binned against this model's binner.
+
+        One stacked-table traversal gathers every tree's leaf value,
+        then :func:`repro.models.flat.accumulate` replays the reference
+        loop's left-to-right float additions — bit-for-bit equal to
+        :meth:`predict_walk`.
+        """
+        return accumulate(
+            self._base, self.learning_rate, self.flatten().leaf_values(codes)
+        )
+
+    def predict_walk(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree node-walk prediction (equivalence/bench)."""
         if self._binner is None:
             raise RuntimeError("model is not fitted")
         codes = self._binner.bin_matrix(np.asarray(X, dtype=float))
         out = np.full(len(codes), self._base)
         for tree in self._trees:
-            out += self.learning_rate * tree.predict_binned(codes)
+            out += self.learning_rate * tree.predict_binned_walk(codes)
         return out
 
     @property
@@ -176,3 +211,9 @@ class GradientBoostedTrees:
         if not self.validation_errors_:
             raise RuntimeError("model is not fitted")
         return self.validation_errors_[-1]
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Models pickled before the flat layer predate the cache slot;
+        # they rebuild the stacked table on first predict.
+        self.__dict__.setdefault("_flat", None)

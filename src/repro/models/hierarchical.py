@@ -23,8 +23,16 @@ import numpy as np
 from scipy.optimize import nnls
 
 from repro.models.boosting import GradientBoostedTrees
+from repro.models.flat import MergedBinner, observe_predict, timed
 from repro.models.metrics import mean_relative_error
 from repro.telemetry import events as tele
+
+
+def _fit_component(payload):
+    """Fit one HM component (module-level so process pools can pickle it)."""
+    component, X_train, y_train = payload
+    component.fit(X_train, y_train)
+    return component
 
 
 class HierarchicalModel:
@@ -77,27 +85,37 @@ class HierarchicalModel:
 
         self._components: List[object] = []
         self._weights: Optional[np.ndarray] = None
+        self._merged: Optional[MergedBinner] = None
         self.order_: int = 0
         self.holdout_error_: float = np.inf
 
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray, checkpoint=None) -> "HierarchicalModel":
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, checkpoint=None, engine=None
+    ) -> "HierarchicalModel":
         """Fit on features ``X`` and log-time targets ``y``.
 
         ``checkpoint``, if given, is called with ``self`` after each
         order completes (weights and holdout error updated) — the job
         service persists the partially-fitted model there, and
         :meth:`resume_fit` continues from whatever orders survived.
+
+        ``engine``, if given and parallel-capable
+        (:attr:`repro.engine.ExecutionBackend.supports_parallel_tasks`),
+        trains the independent per-order components concurrently; the
+        resulting model is identical to a sequential fit (see
+        :meth:`_fit_orders`).
         """
         X, y = self._validate(X, y)
         self._components = []
         self.order_ = 0
         self._weights = None
+        self._merged = None
         self.holdout_error_ = np.inf
-        return self._fit_orders(X, y, [], checkpoint)
+        return self._fit_orders(X, y, [], checkpoint, engine)
 
     def resume_fit(
-        self, X: np.ndarray, y: np.ndarray, checkpoint=None
+        self, X: np.ndarray, y: np.ndarray, checkpoint=None, engine=None
     ) -> "HierarchicalModel":
         """Continue a partially-completed :meth:`fit` on the same data.
 
@@ -107,11 +125,12 @@ class HierarchicalModel:
         uninterrupted :meth:`fit` would have produced.
         """
         if not self._components:
-            return self.fit(X, y, checkpoint=checkpoint)
+            return self.fit(X, y, checkpoint=checkpoint, engine=engine)
         X, y = self._validate(X, y)
+        self._merged = None
         _, _, X_val, _, _ = self._split(X, y)
         preds = [c.predict(X_val) for c in self._components]
-        return self._fit_orders(X, y, preds, checkpoint)
+        return self._fit_orders(X, y, preds, checkpoint, engine)
 
     # ------------------------------------------------------------------
     def _validate(self, X: np.ndarray, y: np.ndarray):
@@ -138,8 +157,10 @@ class HierarchicalModel:
         y: np.ndarray,
         component_val_preds: List[np.ndarray],
         checkpoint,
+        engine=None,
     ) -> "HierarchicalModel":
         X_train, y_train, X_val, y_val, measured_val = self._split(X, y)
+        self._merged = None
 
         # A resumed model may already satisfy the stopping criterion.
         if component_val_preds:
@@ -150,9 +171,15 @@ class HierarchicalModel:
             if (1.0 - self.holdout_error_) >= self.target_accuracy:
                 return self
 
-        for order in range(len(self._components) + 1, self.max_order + 1):
-            component = self._build_component(order)
-            component.fit(X_train, y_train)
+        first_order = len(self._components) + 1
+        prefit = self._speculative_fit(engine, first_order, X_train, y_train)
+
+        for order in range(first_order, self.max_order + 1):
+            if prefit is not None:
+                component = prefit[order - first_order]
+            else:
+                component = self._build_component(order)
+                component.fit(X_train, y_train)
             self._components.append(component)
             component_val_preds.append(component.predict(X_val))
             self.order_ = order
@@ -174,6 +201,36 @@ class HierarchicalModel:
             if (1.0 - self.holdout_error_) >= self.target_accuracy:
                 break
         return self
+
+    # ------------------------------------------------------------------
+    def _speculative_fit(self, engine, first_order: int, X_train, y_train):
+        """Fit the remaining orders concurrently when the engine can.
+
+        Components are mutually independent — each is seeded from its
+        order alone and fits the same training split, with stacking
+        weights resolved afterwards — so every order that *might* be
+        needed can train at once and the main loop then consumes the
+        prefix it would have fitted sequentially, evaluating the same
+        early-stop checks in the same sequence.  Orders beyond the stop
+        point are wasted work, which is why this path only engages on
+        backends that actually run tasks in parallel.  Fitted state
+        round-trips through pickle exactly, so results are bit-identical
+        to a sequential fit.
+        """
+        if engine is None or not getattr(engine, "supports_parallel_tasks", False):
+            return None
+        if self.component_factory is not None:
+            # Arbitrary factories may build unpicklable estimators.
+            return None
+        orders = list(range(first_order, self.max_order + 1))
+        if len(orders) < 2:
+            return None
+        payloads = [
+            (self._build_component(order), X_train, y_train) for order in orders
+        ]
+        if tele.enabled():
+            tele.event("hm.parallel_fit", orders=orders)
+        return list(engine.map_tasks(_fit_component, payloads))
 
     # ------------------------------------------------------------------
     def _build_component(self, order: int):
@@ -211,11 +268,44 @@ class HierarchicalModel:
 
     # ------------------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Blended prediction, binning the input **once**.
+
+        When every component is a :class:`GradientBoostedTrees` (the
+        default), the input matrix is binned a single time against the
+        merged edge set and each component's codes are recovered with a
+        table gather (:class:`repro.models.flat.MergedBinner`) — exactly
+        the codes per-component binning would produce — then pushed
+        through the component's stacked flat table.  Non-GBT components
+        (custom factories) fall back to per-component ``predict``.
+        """
         if not self._components or self._weights is None:
             raise RuntimeError("model is not fitted")
-        predictions = [c.predict(X) for c in self._components]
+        if all(isinstance(c, GradientBoostedTrees) for c in self._components):
+            out, seconds = timed(lambda: self._predict_flat(X))
+            observe_predict("flat", "hm", len(out), seconds)
+            return out
+        out, seconds = timed(
+            lambda: self._blend([c.predict(X) for c in self._components])
+        )
+        observe_predict("walk", "hm", len(out), seconds)
+        return out
+
+    def _predict_flat(self, X: np.ndarray) -> np.ndarray:
+        if self._merged is None:
+            self._merged = MergedBinner([c._binner for c in self._components])
+        merged = self._merged.merged_codes(np.asarray(X, dtype=float))
+        predictions = [
+            component.predict_codes(self._merged.component_codes(i, merged))
+            for i, component in enumerate(self._components)
+        ]
         return self._blend(predictions)
 
     @property
     def n_components(self) -> int:
         return len(self._components)
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Models pickled before the flat layer predate the merged-binner
+        # cache; it is rebuilt on first predict.
+        self.__dict__.setdefault("_merged", None)

@@ -18,12 +18,48 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 #: Default number of histogram bins per feature.
 DEFAULT_BINS = 64
+
+#: Upper bound on comparison-matrix elements per binning chunk; keeps the
+#: (rows, features, edges) broadcast under a few tens of MB.
+_BIN_CHUNK_ELEMENTS = 4_000_000
+
+
+def bin_with_edges(X: np.ndarray, edges: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized ``searchsorted(edges[j], X[:, j], side="right")`` per column.
+
+    One broadcasted comparison replaces the per-feature Python loop: the
+    code for ``x`` is the count of edges ``e <= x``, computed as
+    ``(~(x < e)).sum()`` over edges padded to a rectangle with ``+inf``
+    (a pad edge is never counted for finite ``x``).  The count is then
+    clipped to each feature's true edge count, which also reproduces
+    ``searchsorted``'s NaN-sorts-last behaviour (every ``NaN < e`` is
+    False, so the raw count saturates and clips to ``len(edges[j])``).
+    Rows are chunked so the 3-d comparison stays memory-bounded.
+    """
+    X = np.asarray(X, dtype=float)
+    n, n_features = X.shape
+    if len(edges) != n_features:
+        raise ValueError("edge list does not match feature count")
+    n_edges = np.array([len(e) for e in edges], dtype=np.int64)
+    max_edges = int(n_edges.max()) if n_features else 0
+    codes = np.zeros((n, n_features), dtype=np.int64)
+    if max_edges == 0 or n == 0:
+        return codes
+    padded = np.full((n_features, max_edges), np.inf)
+    for j, e in enumerate(edges):
+        padded[j, : len(e)] = e
+    chunk = max(1, _BIN_CHUNK_ELEMENTS // max(1, n_features * max_edges))
+    for start in range(0, n, chunk):
+        block = X[start : start + chunk]
+        counts = (~(block[:, :, None] < padded[None, :, :])).sum(axis=2)
+        codes[start : start + chunk] = np.minimum(counts, n_edges[None, :])
+    return codes
 
 
 class BinnedDataset:
@@ -33,6 +69,9 @@ class BinnedDataset:
     feature's empirical distribution (encoded configurations are uniform
     in [0,1], but datasize and derived features need not be).
     """
+
+    #: Bound on the per-binner repeated-matrix code cache (entries).
+    CODE_CACHE_SIZE = 8
 
     def __init__(self, X: np.ndarray, max_bins: int = DEFAULT_BINS):
         X = np.asarray(X, dtype=float)
@@ -45,22 +84,57 @@ class BinnedDataset:
         self.edges: List[np.ndarray] = []
         codes = np.empty(X.shape, dtype=np.uint8)
         quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+        # Identical columns (encoded configuration matrices repeat
+        # constant or mirrored features) share one quantile/searchsorted
+        # computation instead of recomputing ``np.unique`` per copy.
+        seen: Dict[bytes, int] = {}
         for j in range(self.n_features):
-            edges = np.unique(np.quantile(X[:, j], quantiles))
+            column = np.ascontiguousarray(X[:, j])
+            key = column.tobytes()
+            dup = seen.get(key)
+            if dup is not None:
+                self.edges.append(self.edges[dup])
+                codes[:, j] = codes[:, dup]
+                continue
+            seen[key] = j
+            edges = np.unique(np.quantile(column, quantiles))
             self.edges.append(edges)
-            codes[:, j] = np.searchsorted(edges, X[:, j], side="right")
+            codes[:, j] = np.searchsorted(edges, column, side="right")
         self.codes = codes
         self.n_bins = np.array([len(e) + 1 for e in self.edges], dtype=np.int64)
+        self._code_cache: Dict[bytes, np.ndarray] = {}
 
     def bin_matrix(self, X: np.ndarray) -> np.ndarray:
-        """Bin new samples with the training edges."""
+        """Bin new samples with the training edges.
+
+        Binning is one vectorized pass (:func:`bin_with_edges`), and the
+        resulting codes are memoized per input matrix — the GA predicts
+        the same holdout/validation matrices repeatedly, and a cache hit
+        is a dict lookup instead of any arithmetic.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self.n_features:
             raise ValueError(f"expected (n, {self.n_features}) matrix")
-        codes = np.empty(X.shape, dtype=np.uint8)
-        for j in range(self.n_features):
-            codes[:, j] = np.searchsorted(self.edges[j], X[:, j], side="right")
+        key = np.ascontiguousarray(X).tobytes()
+        cached = self._code_cache.get(key)
+        if cached is not None:
+            return cached
+        codes = bin_with_edges(X, self.edges).astype(np.uint8)
+        if len(self._code_cache) >= self.CODE_CACHE_SIZE:
+            self._code_cache.pop(next(iter(self._code_cache)))
+        self._code_cache[key] = codes
         return codes
+
+    def __getstate__(self):
+        # The code cache is a per-process memo; never persist it.
+        state = dict(self.__dict__)
+        state["_code_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Artifacts pickled before the cache existed lack the attribute.
+        self.__dict__.setdefault("_code_cache", {})
 
     def threshold(self, feature: int, bin_index: int) -> float:
         """Real-valued threshold for 'go left if code <= bin_index'."""
@@ -122,6 +196,7 @@ class RegressionTree:
         self._rng = np.random.default_rng(random_state)
         self._nodes: List[_Node] = []
         self._binner: Optional[BinnedDataset] = None
+        self._flat = None
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
@@ -146,6 +221,7 @@ class RegressionTree:
         if len(y) == 0:
             raise ValueError("cannot fit on an empty dataset")
         self._binner = binner
+        self._flat = None
         idx = (
             np.arange(binner.n_samples)
             if sample_indices is None
@@ -249,8 +325,27 @@ class RegressionTree:
             raise RuntimeError("tree is not fitted")
         return self.predict_binned(self._binner.bin_matrix(np.asarray(X, dtype=float)))
 
+    def flatten(self):
+        """This tree as a cached :class:`repro.models.flat.FlatTree`."""
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        if self._flat is None:
+            from repro.models.flat import FlatTree
+
+            self._flat = FlatTree.from_nodes(self._nodes)
+        return self._flat
+
     def predict_binned(self, codes: np.ndarray) -> np.ndarray:
-        """Predict from pre-binned codes (fast path for ensembles)."""
+        """Predict from pre-binned codes via the flat node table.
+
+        Bit-for-bit equal to :meth:`predict_binned_walk`: the flat
+        traversal applies the same ``code <= bin_threshold`` branches
+        and gathers the same stored leaf values.
+        """
+        return self.flatten().predict(codes)
+
+    def predict_binned_walk(self, codes: np.ndarray) -> np.ndarray:
+        """Reference node-walk prediction (kept for equivalence tests)."""
         if not self._nodes:
             raise RuntimeError("tree is not fitted")
         n = len(codes)
@@ -279,3 +374,8 @@ class RegressionTree:
     @property
     def n_leaves(self) -> int:
         return sum(1 for node in self._nodes if node.is_leaf)
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Trees pickled before the flat layer predate the cache slot.
+        self.__dict__.setdefault("_flat", None)

@@ -55,6 +55,15 @@ class BudgetedBackend(ExecutionBackend):
         return self.inner.signature()
 
     @property
+    def supports_parallel_tasks(self) -> bool:
+        return self.inner.supports_parallel_tasks
+
+    def map_tasks(self, fn, items):
+        # Generic compute (model training) is not a substrate run and
+        # does not draw down the budget.
+        return self.inner.map_tasks(fn, items)
+
+    @property
     def stats(self) -> EngineStats:
         return self.inner.stats
 

@@ -51,6 +51,21 @@ from repro.telemetry.sinks import JsonlSink
 from repro.workloads import get_workload
 
 
+class DrainRequested(Exception):
+    """A graceful stop was requested and the current checkpoint is durable.
+
+    Raised from inside :meth:`JobRunner._checkpoint` — i.e. strictly
+    *after* the phase artifact and job record landed on disk — so the
+    abandoned job is RUNNING with a complete checkpoint and no lease:
+    exactly the shape :meth:`JobService.claimable` hands to the next
+    worker.
+    """
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"job {job_id}: drained at checkpoint boundary")
+
+
 class JobRunner:
     """Executes one job at a time against a store, checkpointing as it goes.
 
@@ -87,6 +102,10 @@ class JobRunner:
         self.engine_factory = engine_factory or InProcessBackend
         self.use_cache = use_cache
         self.checkpoint_every = checkpoint_every
+        #: Graceful-drain hook: when set and it returns true, the runner
+        #: stops at the next checkpoint boundary (after the persist),
+        #: releases the lease and leaves the job RUNNING + resumable.
+        self.should_stop: Optional[Callable[[], bool]] = None
         #: Per-job leases for runs in flight (keyed by job id so one
         #: runner can drive several jobs from pool threads).
         self._leases: Dict[str, Lease] = {}
@@ -144,6 +163,11 @@ class JobRunner:
                             fencing_token=record.fencing_token,
                             sessions=record.sessions,
                         )
+        except DrainRequested:
+            # The checkpoint that observed the stop request is already
+            # durable; the record stays RUNNING with no error so any
+            # worker (including a restarted this-one) can claim it.
+            pass
         except BudgetExceeded as exc:
             record.state = FAILED
             record.error = str(exc)
@@ -458,6 +482,14 @@ class JobRunner:
         start = time.perf_counter()
         persist()
         self._save(record, engine, session, wall_start=start)
+        if self.should_stop is not None and self.should_stop():
+            tele.event(
+                "job.drained",
+                job_id=record.job_id,
+                phase=record.phase,
+                session=session,
+            )
+            raise DrainRequested(record.job_id)
 
     def _save(
         self,

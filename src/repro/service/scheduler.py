@@ -228,6 +228,7 @@ class JobService:
         max_jobs: Optional[int] = None,
         idle_polls: Optional[int] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        drain: Optional[Callable[[], bool]] = None,
     ) -> List[JobRecord]:
         """The worker loop behind ``repro worker``: poll, claim, run.
 
@@ -237,11 +238,38 @@ class JobService:
         checkpoint.  Returns after ``max_jobs`` finished jobs, after
         ``idle_polls`` consecutive empty polls, or when ``should_stop``
         returns true; with none of them set, loops forever.
+
+        ``should_stop`` is only consulted *between* jobs; ``drain``
+        additionally reaches inside a running job: the runner finishes
+        the checkpoint in progress, persists it, releases the lease and
+        abandons the job (still RUNNING, immediately claimable by any
+        worker), and the loop exits — the graceful-shutdown protocol
+        behind ``repro worker --drain``.
         """
+        previous_hook = self.runner.should_stop
+        if drain is not None:
+            self.runner.should_stop = drain
+        try:
+            return self._work_loop(
+                poll_interval, max_jobs, idle_polls, should_stop, drain
+            )
+        finally:
+            self.runner.should_stop = previous_hook
+
+    def _work_loop(
+        self,
+        poll_interval: float,
+        max_jobs: Optional[int],
+        idle_polls: Optional[int],
+        should_stop: Optional[Callable[[], bool]],
+        drain: Optional[Callable[[], bool]],
+    ) -> List[JobRecord]:
         finished: List[JobRecord] = []
         idle = 0
         while True:
             if should_stop is not None and should_stop():
+                break
+            if drain is not None and drain():
                 break
             self.store.refresh()
             ran = None
@@ -256,6 +284,9 @@ class JobService:
                 time.sleep(poll_interval)
                 continue
             idle = 0
+            if drain is not None and drain() and ran.state == RUNNING:
+                # Drained mid-job: checkpointed and released, not finished.
+                break
             finished.append(ran)
             if max_jobs is not None and len(finished) >= max_jobs:
                 break

@@ -89,6 +89,27 @@ class TestGeneticAlgorithm:
         )
         assert result.converged_at == 2
 
+    def test_converged_at_negative_fitness(self):
+        # Log-time fitness goes negative; the 0.5% band must widen away
+        # from the optimum, not flip below it (the old ``1.005 * best``
+        # threshold excluded every history entry once best < 0).
+        result = GaResult(
+            best_configuration=None,  # type: ignore[arg-type]
+            best_fitness=-2.0,
+            history=(1.0, -1.99, -2.0),
+            generations=2,
+        )
+        assert result.converged_at == 1
+
+    def test_converged_at_zero_fitness(self):
+        result = GaResult(
+            best_configuration=None,  # type: ignore[arg-type]
+            best_fitness=0.0,
+            history=(3.0, 0.0, 0.0),
+            generations=2,
+        )
+        assert result.converged_at == 1
+
     def test_bad_fitness_shape_rejected(self, toy_space):
         ga = GeneticAlgorithm(toy_space)
         with pytest.raises(ValueError):

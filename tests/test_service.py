@@ -11,6 +11,7 @@ from repro.service import (
     DONE,
     FAILED,
     QUEUED,
+    RUNNING,
     AdmissionError,
     BudgetedBackend,
     BudgetExceeded,
@@ -316,4 +317,83 @@ class TestBudget:
         assert sum(runs.values()) == request.n_train
         assert resumed.result["fingerprint"] == report_fingerprint(
             _reference_report(request)
+        )
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown (``repro worker --drain``)
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_mid_job_leaves_running_and_claimable(self, tmp_path):
+        """Tripping the drain hook mid-run stops at the next checkpoint:
+        the record stays RUNNING with no error, the lease is released,
+        and the worker loop reports nothing finished."""
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request())
+        calls = {"n": 0}
+
+        def hook():
+            calls["n"] += 1
+            return calls["n"] > 3
+
+        finished = service.work(poll_interval=0.01, idle_polls=2, drain=hook)
+        assert finished == []
+        drained = service.get(record.job_id)
+        assert drained.state == RUNNING
+        assert drained.error is None
+        assert drained.progress["collect"]["batches_done"] >= 1
+        assert service.leases.holder(record.job_id) is None  # claimable
+
+        # A fresh worker takes over and lands on the reference answer.
+        other = JobService(tmp_path / "store", use_cache=False, worker_id="w2")
+        done = other.work(poll_interval=0.01, idle_polls=3)
+        assert [job.job_id for job in done] == [record.job_id]
+        assert done[0].state == DONE
+        assert done[0].result["fingerprint"] == report_fingerprint(
+            _reference_report(_request())
+        )
+
+    def test_drain_before_any_job_runs_nothing(self, tmp_path):
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request())
+        finished = service.work(poll_interval=0.01, drain=lambda: True)
+        assert finished == []
+        assert service.get(record.job_id).state == QUEUED
+
+    def test_old_path_checkpoint_resumes_to_same_fingerprint(self, tmp_path):
+        """A checkpoint whose pickled model predates the flat-inference
+        layer (no ``_flat``/``_merged``/``_code_cache`` in the state)
+        resumes on the new code to the byte-identical fingerprint."""
+        service = JobService(tmp_path / "store", use_cache=False)
+        record = service.submit(_request())
+
+        def drained_past_first_order():
+            data = service.store.load_job(record.job_id) or {}
+            fit = data.get("progress", {}).get("fit", {})
+            return fit.get("orders_done", 0) >= 1
+
+        service.work(poll_interval=0.01, idle_polls=2,
+                     drain=drained_past_first_order)
+        paused = service.get(record.job_id)
+        assert paused.state == RUNNING
+        assert paused.progress["fit"]["orders_done"] >= 1
+
+        # Rewrite the model artifact as the old node-walk code would
+        # have pickled it: strip every flat-cache slot, then re-store.
+        key = record.artifact_key("model")
+        model = service.store.get_model(key)
+        model.__dict__.pop("_merged")
+        for component in model._components:
+            component.__dict__.pop("_flat")
+            component._binner.__dict__.pop("_code_cache")
+            for tree in component._trees:
+                tree.__dict__.pop("_flat")
+        service.store.put_model(key, model)
+
+        other = JobService(tmp_path / "store", use_cache=False, worker_id="w2")
+        done = other.work(poll_interval=0.01, idle_polls=3)
+        assert [job.job_id for job in done] == [record.job_id]
+        assert done[0].state == DONE
+        assert done[0].result["fingerprint"] == report_fingerprint(
+            _reference_report(_request())
         )

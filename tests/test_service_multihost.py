@@ -448,6 +448,53 @@ def test_sigkill_worker_takeover_matches_uninterrupted(tmp_path):
     assert runs[2] < REQUEST["n_train"]
 
 
+def test_worker_drain_flag_sigterm_exits_zero(tmp_path):
+    """``repro worker --drain`` + SIGTERM: the worker finishes the
+    checkpoint in progress, releases the lease, and exits 0 with the
+    job still RUNNING — immediately claimable by the next worker."""
+    root = tmp_path / "store"
+    service = JobService(root, use_cache=False)
+    record = service.submit(_request())
+
+    child = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--store", str(root), "--drain",
+            "--poll-interval", "0.02", "--exit-when-idle", "200",
+        ],
+        env={**os.environ, "PYTHONPATH": SRC},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 120
+    signalled = False
+    while time.monotonic() < deadline:
+        data = RunStore(root).load_job(record.job_id) or {}
+        batches = data.get("progress", {}).get("collect", {}).get("batches_done", 0)
+        if batches >= 1:
+            child.send_signal(signal.SIGTERM)
+            signalled = True
+            break
+        if child.poll() is not None:
+            pytest.fail("worker finished before the drain point")
+        time.sleep(0.005)
+    assert signalled, "never saw collect progress"
+    child.wait(timeout=60)
+    assert child.returncode == 0
+
+    store = RunStore(root)
+    paused = JobRecord.from_dict(store.load_job(record.job_id))
+    assert paused.state == "running"
+    assert paused.error is None
+    assert LeaseManager(store.lease_dir).holder(record.job_id) is None
+
+    # Anyone can pick the job straight back up from the checkpoint.
+    w2 = JobService(root, use_cache=False, worker_id="w2")
+    finished = w2.work(poll_interval=0.01, idle_polls=3)
+    assert [job.job_id for job in finished] == [record.job_id]
+    assert finished[0].state == DONE
+
+
 # ----------------------------------------------------------------------
 # The full stress harness (excluded from tier-1 by the `stress` marker)
 # ----------------------------------------------------------------------
