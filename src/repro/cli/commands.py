@@ -555,6 +555,39 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """``repro store gc``: sweep unreferenced blobs (dry-run by default)."""
+    from repro.store import RunStore, StoreError
+
+    try:
+        store = RunStore(args.store, create=False)
+    except StoreError as exc:
+        log.error("error: %s", exc)
+        return 2
+    report = store.gc(apply=args.apply, min_age_seconds=args.min_age)
+    mode = "swept" if report["applied"] else "would sweep"
+    log.info(
+        "%s: %d live blob(s); %s %d unreferenced blob(s) + %d tmp file(s), "
+        "%s reclaimed%s",
+        args.store,
+        report["live"],
+        mode,
+        len(report["swept"]),
+        report["tmp_swept"],
+        fmt_bytes(float(report["reclaimed_bytes"])),
+        "" if report["applied"] else " (dry run; pass --apply to delete)",
+    )
+    if report["skipped_young"]:
+        log.info(
+            "  kept %d candidate(s) younger than %gs (in-flight writer guard)",
+            report["skipped_young"],
+            args.min_age,
+        )
+    for item in report["swept"]:
+        log.debug("  %s %s", item["digest"], fmt_bytes(float(item["bytes"])))
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     log.info("%-5s %-10s %-15s Table-1 sizes", "abbr", "name", "unit")
     for workload in ALL_WORKLOADS.values():

@@ -283,6 +283,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(worker)
     worker.set_defaults(handler=commands.cmd_worker)
 
+    # -- store ---------------------------------------------------------------
+    store = sub.add_parser(
+        "store",
+        help="run-store maintenance (garbage collection)",
+        parents=[verbosity],
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+    gc = store_sub.add_parser(
+        "gc",
+        help="sweep object blobs no index entry references (dry-run "
+        "unless --apply)",
+        parents=[verbosity],
+    )
+    gc.add_argument("--store", metavar="DIR", required=True,
+                    help="run store directory")
+    gc.add_argument("--apply", action="store_true",
+                    help="actually delete (default: report only)")
+    gc.add_argument("--min-age", type=float, default=3600.0, metavar="SEC",
+                    help="never sweep blobs younger than SEC seconds "
+                    "(default: 3600; guards in-flight writers)")
+    gc.set_defaults(handler=commands.cmd_store, action="gc")
+
     # -- workloads -----------------------------------------------------------
     workloads = sub.add_parser(
         "workloads", help="list the Table-1 programs", parents=[verbosity]

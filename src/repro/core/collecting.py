@@ -68,23 +68,164 @@ class PerformanceVector:
             raise ValueError("datasize must be positive")
 
 
+# ----------------------------------------------------------------------
+# Raw column representation.
+#
+# Encoded [0,1] vectors are lossy (out-of-range defaults clip), so the
+# column form stores each parameter's *raw* value as a float64 — the
+# value itself for numeric knobs, the choice index for categoricals —
+# which reconstructs the exact Configuration (small integers and choice
+# indices are exact in float64).
+# ----------------------------------------------------------------------
+def raw_value(param, value) -> float:
+    """One parameter value as its exact float64 column representation."""
+    from repro.common.space import CategoricalParameter
+
+    if isinstance(param, CategoricalParameter):
+        return float(param.choices.index(value))
+    return float(value)
+
+
+def value_from_raw(param, raw: float):
+    """Inverse of :func:`raw_value`."""
+    from repro.common.space import CategoricalParameter, IntParameter
+
+    if isinstance(param, CategoricalParameter):
+        return param.choices[int(raw)]
+    if isinstance(param, IntParameter):
+        return int(raw)
+    return float(raw)
+
+
+def encode_raw_columns(space: ConfigurationSpace, values: np.ndarray) -> np.ndarray:
+    """Vectorized ``space.encode`` over a raw-value matrix.
+
+    Bit-for-bit equal to encoding row by row: every per-parameter
+    branch applies the same clip/subtract/divide in the same order on
+    the same exact float64 inputs (integers and choice indices are
+    exact in float64, and IEEE ops round identically whether issued by
+    CPython or numpy).  Proven by ``tests/test_store_blobfmt.py``.
+    """
+    from repro.common.space import CategoricalParameter
+
+    values = np.asarray(values, dtype=float)
+    out = np.empty(values.shape, dtype=float)
+    for j, param in enumerate(space.parameters):
+        column = values[:, j]
+        if isinstance(param, CategoricalParameter):
+            m = len(param.choices)
+            out[:, j] = 0.0 if m == 1 else column / (m - 1)
+        else:
+            low, high = float(param.low), float(param.high)
+            if high == low:
+                out[:, j] = 0.0
+            else:
+                clipped = np.minimum(np.maximum(column, low), high)
+                out[:, j] = (clipped - low) / (high - low)
+    return out
+
+
 class TrainingSet:
-    """The matrix ``S`` of Section 3.2, with feature/target views."""
+    """The matrix ``S`` of Section 3.2, with feature/target views.
+
+    Two equivalent backings share this class: the classic eager form (a
+    tuple of :class:`PerformanceVector`) and the columnar form
+    (float64 arrays: seconds, datasize, datasize_bytes, raw parameter
+    values) produced by the streaming collector and the store's blob
+    codec — where the columns may be read-only ``np.memmap`` views, so
+    a large set is never copied into private memory.  ``vectors`` is
+    materialized lazily from columns only when row objects are actually
+    asked for (GA seeding, CSV export).
+    """
 
     def __init__(self, space: ConfigurationSpace, vectors: Sequence[PerformanceVector]):
+        vectors = tuple(vectors)
         if not vectors:
             raise ValueError("training set cannot be empty")
         self.space = space
-        self.vectors: Tuple[PerformanceVector, ...] = tuple(vectors)
-        self._size_scale = max(v.datasize_bytes for v in self.vectors)
-        # Matrix views are rebuilt lazily once; ``vectors`` is immutable,
+        self._vectors: Optional[Tuple[PerformanceVector, ...]] = vectors
+        self._n = len(vectors)
+        self._size_scale = max(v.datasize_bytes for v in vectors)
+        self._columns = None
+        # Matrix views are rebuilt lazily once; the backing is immutable,
         # so the cached (read-only) arrays can be handed out directly.
         self._features: Optional[np.ndarray] = None
         self._log_times: Optional[np.ndarray] = None
         self._times: Optional[np.ndarray] = None
 
+    @classmethod
+    def from_columns(cls, space: ConfigurationSpace, columns) -> "TrainingSet":
+        """Build from column arrays (``seconds``, ``datasize``,
+        ``datasize_bytes``, ``values`` and optionally precomputed
+        ``features`` / ``log_times``).
+
+        Arrays are adopted as-is — ordinary, read-only, or memmap —
+        and never copied here.
+        """
+        seconds = np.asarray(columns["seconds"], dtype=float)
+        datasize = np.asarray(columns["datasize"], dtype=float)
+        datasize_bytes = np.asarray(columns["datasize_bytes"], dtype=float)
+        values = np.asarray(columns["values"], dtype=float)
+        n = len(seconds)
+        if n == 0:
+            raise ValueError("training set cannot be empty")
+        if not (len(datasize) == len(datasize_bytes) == len(values) == n):
+            raise ValueError("column length mismatch")
+        if values.ndim != 2 or values.shape[1] != len(space.names):
+            raise ValueError(
+                f"expected (n, {len(space.names)}) raw-value matrix, "
+                f"got {values.shape}"
+            )
+        self = cls.__new__(cls)
+        self.space = space
+        self._vectors = None
+        self._n = n
+        self._size_scale = float(np.max(datasize_bytes))
+        self._columns = {
+            "seconds": seconds,
+            "datasize": datasize,
+            "datasize_bytes": datasize_bytes,
+            "values": values,
+        }
+        self._features = (
+            np.asarray(columns["features"], dtype=float)
+            if columns.get("features") is not None
+            else None
+        )
+        self._log_times = (
+            np.asarray(columns["log_times"], dtype=float)
+            if columns.get("log_times") is not None
+            else None
+        )
+        self._times = seconds
+        return self
+
+    @property
+    def vectors(self) -> Tuple[PerformanceVector, ...]:
+        """Row objects, materialized from columns on first access."""
+        if self._vectors is None:
+            cols = self._columns
+            values = cols["values"]
+            params = self.space.parameters
+            self._vectors = tuple(
+                PerformanceVector(
+                    seconds=float(cols["seconds"][i]),
+                    configuration=Configuration(
+                        self.space,
+                        {
+                            p.name: value_from_raw(p, values[i, j])
+                            for j, p in enumerate(params)
+                        },
+                    ),
+                    datasize=float(cols["datasize"][i]),
+                    datasize_bytes=float(cols["datasize_bytes"][i]),
+                )
+                for i in range(self._n)
+            )
+        return self._vectors
+
     def __len__(self) -> int:
-        return len(self.vectors)
+        return self._n
 
     @property
     def size_scale(self) -> float:
@@ -95,18 +236,28 @@ class TrainingSet:
         """(n, 42) matrix: 41 encoded parameters + normalized datasize.
 
         Built once and cached (read-only) — copy before mutating.
+        Column-backed sets use the vectorized encoder (bit-identical to
+        the row loop); blob-loaded sets return the stored section
+        without recomputing anything.
         """
         if self._features is None:
-            rows = [
-                np.concatenate(
-                    [
-                        self.space.encode(v.configuration),
-                        [v.datasize_bytes / self._size_scale],
-                    ]
+            if self._columns is not None:
+                matrix = np.empty((self._n, len(self.space.names) + 1))
+                matrix[:, :-1] = encode_raw_columns(
+                    self.space, self._columns["values"]
                 )
-                for v in self.vectors
-            ]
-            matrix = np.vstack(rows)
+                matrix[:, -1] = self._columns["datasize_bytes"] / self._size_scale
+            else:
+                rows = [
+                    np.concatenate(
+                        [
+                            self.space.encode(v.configuration),
+                            [v.datasize_bytes / self._size_scale],
+                        ]
+                    )
+                    for v in self.vectors
+                ]
+                matrix = np.vstack(rows)
             matrix.setflags(write=False)
             self._features = matrix
         return self._features
@@ -132,6 +283,31 @@ class TrainingSet:
             seconds.setflags(write=False)
             self._times = seconds
         return self._times
+
+    def to_columns(self) -> dict:
+        """Column form for serialization (always includes the derived
+        ``features``/``log_times`` arrays, so a reader never recomputes
+        them)."""
+        if self._columns is not None:
+            cols = dict(self._columns)
+        else:
+            params = self.space.parameters
+            values = np.empty((self._n, len(params)))
+            for i, v in enumerate(self.vectors):
+                config = v.configuration
+                for j, p in enumerate(params):
+                    values[i, j] = raw_value(p, config[p.name])
+            cols = {
+                "seconds": np.array([v.seconds for v in self.vectors]),
+                "datasize": np.array([v.datasize for v in self.vectors]),
+                "datasize_bytes": np.array(
+                    [v.datasize_bytes for v in self.vectors]
+                ),
+                "values": values,
+            }
+        cols["features"] = self.features()
+        cols["log_times"] = self.log_times()
+        return cols
 
     def merged_with(self, other: "TrainingSet") -> "TrainingSet":
         if other.space is not self.space and other.space.names != self.space.names:
@@ -186,6 +362,7 @@ class Collector:
         total_examples: int,
         stream: str = "train",
         progress: Optional[Callable[[int, int], None]] = None,
+        spill_dir: Optional[str] = None,
     ) -> TrainingSet:
         """Collect ``total_examples`` performance vectors.
 
@@ -198,25 +375,48 @@ class Collector:
         or caching backend accelerates the whole sampling loop; the CG's
         random stream is drawn up front in the original order, keeping
         the collected set identical across backends.
+
+        Rows stream batch-by-batch into a spill-capable
+        :class:`~repro.store.matrixbuilder.MatrixBuilder`, so the full
+        matrix is never resident as Python row objects, and a
+        larger-than-budget collection lands in a (transparently
+        memmapped) spill file rather than the heap.
         """
+        from repro.store.matrixbuilder import MatrixBuilder
+
         batches = self.plan(total_examples, stream=stream)
-        vectors: List[PerformanceVector] = []
-        with tele.span(
-            "collect",
-            program=self.workload.abbr,
-            examples=total_examples,
-            stream=stream,
-        ):
-            for batch in batches:
-                vectors.extend(
-                    self.run_batch(
-                        batch,
-                        done=len(vectors),
-                        total=total_examples,
-                        progress=progress,
+        builder = MatrixBuilder(3 + len(self.space.names), spill_dir=spill_dir)
+        done = 0
+        try:
+            with tele.span(
+                "collect",
+                program=self.workload.abbr,
+                examples=total_examples,
+                stream=stream,
+            ):
+                for batch in batches:
+                    done += len(
+                        self.run_batch(
+                            batch,
+                            done=done,
+                            total=total_examples,
+                            progress=progress,
+                            sink=builder,
+                        )
                     )
-                )
-        return TrainingSet(self.space, vectors)
+            matrix = builder.finalize()
+        except BaseException:
+            builder.close()
+            raise
+        return TrainingSet.from_columns(
+            self.space,
+            {
+                "seconds": matrix[:, 0],
+                "datasize": matrix[:, 1],
+                "datasize_bytes": matrix[:, 2],
+                "values": matrix[:, 3:],
+            },
+        )
 
     def plan(self, total_examples: int, stream: str = "train") -> List[CollectBatch]:
         """Draw the full batch plan for a collection, without executing.
@@ -253,12 +453,18 @@ class Collector:
         done: int = 0,
         total: Optional[int] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        sink=None,
     ) -> List[PerformanceVector]:
         """Execute one planned batch through the engine.
 
         ``done``/``total`` carry overall progress into the
         ``collect.size`` telemetry event so resumed collections emit the
-        same event stream an uninterrupted one does.
+        same event stream an uninterrupted one does.  ``sink``, if
+        given, receives the batch's rows as one
+        ``(k, 3 + n_params)`` float64 chunk
+        (seconds, datasize, datasize_bytes, raw parameter values) —
+        the streaming-collect path appends them to a
+        :class:`~repro.store.matrixbuilder.MatrixBuilder`.
         """
         runs = require_success(self.engine.submit(list(batch.requests)))
         vectors: List[PerformanceVector] = []
@@ -273,6 +479,17 @@ class Collector:
             )
             if progress is not None:
                 progress(done + len(vectors), total or done + len(vectors))
+        if sink is not None:
+            params = self.space.parameters
+            rows = np.empty((len(vectors), 3 + len(params)))
+            for i, v in enumerate(vectors):
+                rows[i, 0] = v.seconds
+                rows[i, 1] = v.datasize
+                rows[i, 2] = v.datasize_bytes
+                config = v.configuration
+                for j, p in enumerate(params):
+                    rows[i, 3 + j] = raw_value(p, config[p.name])
+            sink.append(rows)
         tele.event(
             "collect.size",
             program=self.workload.abbr,
@@ -285,5 +502,11 @@ class Collector:
 
     def simulated_hours(self, training_set: TrainingSet) -> float:
         """Cluster-hours the collection would have cost on real hardware
-        (Table 3's 'Collecting' column)."""
-        return float(sum(v.seconds for v in training_set.vectors) / 3600.0)
+        (Table 3's 'Collecting' column).
+
+        Summed left-to-right over ``times()`` — the same order and the
+        same float adds the eager row path used, so the value (which
+        feeds the report fingerprint) is identical for eager,
+        column-backed, and blob-loaded sets alike.
+        """
+        return float(sum(float(s) for s in training_set.times()) / 3600.0)

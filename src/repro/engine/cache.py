@@ -24,17 +24,24 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.engine.backends import ExecutionBackend
 from repro.engine.request import ExecOutcome, ExecRequest, ExecResult
 from repro.engine.stats import EngineStats
 from repro.sparksim.simulator import RunResult
+from repro.store import blobfmt
 from repro.telemetry.metrics import get_registry
 
-#: First bytes of every on-disk cache entry.  The tag names the format
-#: (magic) and its version; bumping the digit orphans every entry written
-#: under the old layout — they read back as misses and are rewritten —
-#: which is how stale pickle formats are invalidated without a migration.
+#: First bytes of legacy on-disk cache entries (plain tagged pickle).
+#: Still readable; new entries are written as checksummed
+#: :mod:`repro.store.blobfmt` containers instead, so a torn or corrupt
+#: entry is detected by digest rather than by pickle happening to blow
+#: up.  Anything that is neither format reads as a miss and is evicted.
 CACHE_FORMAT = b"repro-cache/1\n"
+
+#: ``kind`` tag of blob-container cache entries.
+_CACHE_BLOB_KIND = "cache_entry"
 
 
 def request_key(request: ExecRequest, substrate_signature: str) -> str:
@@ -167,13 +174,23 @@ class CachedBackend(ExecutionBackend):
             blob = path.read_bytes()
         except OSError:  # absent (or unreadable): miss
             return None
-        if not blob.startswith(CACHE_FORMAT):
+        if blob.startswith(blobfmt.MAGIC):
+            try:
+                header, sections = blobfmt.decode_sections(blob, verify=True)
+                if header.get("kind") != _CACHE_BLOB_KIND:
+                    raise blobfmt.BlobError("not a cache entry")
+                run = pickle.loads(sections["pickle"].tobytes())
+            except Exception:  # truncated/corrupt entry: miss + overwrite
+                self._evict(path)
+                return None
+        elif blob.startswith(CACHE_FORMAT):  # legacy tagged-pickle entry
+            try:
+                run = pickle.loads(blob[len(CACHE_FORMAT) :])
+            except Exception:  # truncated/corrupt entry: miss + overwrite
+                self._evict(path)
+                return None
+        else:
             self._evict(path)  # stale format or foreign file: rewrite it
-            return None
-        try:
-            run = pickle.loads(blob[len(CACHE_FORMAT) :])
-        except Exception:  # truncated/corrupt entry: miss + overwrite
-            self._evict(path)
             return None
         if not isinstance(run, RunResult):
             self._evict(path)
@@ -195,10 +212,14 @@ class CachedBackend(ExecutionBackend):
             return
         path = self.directory / f"{key}.pkl"
         tmp = self.directory / f".{key}.{os.getpid()}.tmp"
+        pickled = pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = blobfmt.encode_sections(
+            {"pickle": np.frombuffer(pickled, dtype=np.uint8)},
+            kind=_CACHE_BLOB_KIND,
+        )
         try:
             with tmp.open("wb") as handle:
-                handle.write(CACHE_FORMAT)
-                handle.write(pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL))
+                handle.write(blob)
             tmp.replace(path)
         except OSError:  # read-only/full disk: memory layer still works
             tmp.unlink(missing_ok=True)

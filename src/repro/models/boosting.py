@@ -122,6 +122,7 @@ class GradientBoostedTrees:
         self._base = float(np.mean(y_train))
         self._trees = []
         self._flat = None
+        self._frozen_n_trees = 0
         self.validation_errors_ = []
 
         residual = y_train - self._base
@@ -162,10 +163,17 @@ class GradientBoostedTrees:
 
     # ------------------------------------------------------------------
     def flatten(self) -> FlatForest:
-        """The whole ensemble as one cached stacked node table."""
+        """The whole ensemble as one cached stacked node table.
+
+        A section-restored model has no per-tree state (``_trees`` is
+        empty) but arrives with its stacked table preset — the empty
+        tree list must not trigger a rebuild.
+        """
         if self._binner is None:
             raise RuntimeError("model is not fitted")
-        if self._flat is None or self._flat.n_trees != len(self._trees):
+        if self._flat is None or (
+            self._trees and self._flat.n_trees != len(self._trees)
+        ):
             self._flat = FlatForest.from_trees(self._trees)
         return self._flat
 
@@ -196,15 +204,109 @@ class GradientBoostedTrees:
         """Reference per-tree node-walk prediction (equivalence/bench)."""
         if self._binner is None:
             raise RuntimeError("model is not fitted")
+        if not self._trees and self._flat is not None and self._flat.n_trees:
+            raise RuntimeError(
+                "node-walk path needs per-tree state; this model was "
+                "restored from flat sections"
+            )
         codes = self._binner.bin_matrix(np.asarray(X, dtype=float))
         out = np.full(len(codes), self._base)
         for tree in self._trees:
             out += self.learning_rate * tree.predict_binned_walk(codes)
         return out
 
+    # ------------------------------------------------------------------
+    def to_sections(self, prefix: str = ""):
+        """Lower fitted state into ``(sections, meta)`` for the blob format.
+
+        Sections carry every array (stacked node table, concatenated
+        bin edges, validation-error curve); ``meta`` carries the JSON
+        scalars (constructor hyperparameters, base prediction, stop
+        reason).  Python's JSON floats round-trip exactly, so a
+        :meth:`from_sections` model predicts bit-for-bit like this one.
+        """
+        if self._binner is None:
+            raise ValueError("model is not fitted")
+        flat = self.flatten()
+        edges = self._binner.edges
+        lengths = [len(e) for e in edges]
+        sections = dict(flat.to_sections(prefix=prefix))
+        sections[prefix + "edges"] = (
+            np.concatenate([np.asarray(e, dtype=float) for e in edges])
+            if edges
+            else np.empty(0, dtype=float)
+        )
+        sections[prefix + "edges_off"] = np.cumsum([0] + lengths).astype(np.int64)
+        sections[prefix + "val_errors"] = np.asarray(
+            self.validation_errors_, dtype=float
+        )
+        meta = {
+            "n_trees": int(self.n_trees),
+            "learning_rate": float(self.learning_rate),
+            "tree_complexity": int(self.tree_complexity),
+            "subsample": float(self.subsample),
+            "target_accuracy": (
+                None if self.target_accuracy is None else float(self.target_accuracy)
+            ),
+            "validation_fraction": float(self.validation_fraction),
+            "patience": int(self.patience),
+            "convergence_tol": float(self.convergence_tol),
+            "min_samples_leaf": int(self.min_samples_leaf),
+            "random_state": int(self.random_state),
+            "base": float(self._base),
+            "stopped_reason": str(self.stopped_reason_),
+            "n_trees_fitted": int(self.n_trees_fitted),
+            "max_bins": int(self._binner.max_bins),
+        }
+        return sections, meta
+
+    @classmethod
+    def from_sections(cls, sections, meta, prefix: str = "") -> "GradientBoostedTrees":
+        """Rebuild a frozen (predict-only) model from stored sections.
+
+        The stacked node table and bin edges are adopted as-is — they
+        may be read-only memmap views, in which case reconstruction
+        touches no array data at all.  The per-tree training state is
+        gone: :meth:`predict` and :meth:`flatten` work identically,
+        :meth:`predict_walk` does not (and says so).
+        """
+        model = cls(
+            n_trees=int(meta["n_trees"]),
+            learning_rate=float(meta["learning_rate"]),
+            tree_complexity=int(meta["tree_complexity"]),
+            subsample=float(meta["subsample"]),
+            target_accuracy=(
+                None
+                if meta.get("target_accuracy") is None
+                else float(meta["target_accuracy"])
+            ),
+            validation_fraction=float(meta["validation_fraction"]),
+            patience=int(meta["patience"]),
+            convergence_tol=float(meta["convergence_tol"]),
+            min_samples_leaf=int(meta["min_samples_leaf"]),
+            random_state=int(meta["random_state"]),
+        )
+        offsets = np.asarray(sections[prefix + "edges_off"])
+        concatenated = sections[prefix + "edges"]
+        edges = [
+            concatenated[int(offsets[j]) : int(offsets[j + 1])]
+            for j in range(len(offsets) - 1)
+        ]
+        model._binner = BinnedDataset.from_edges(edges, max_bins=int(meta["max_bins"]))
+        model._flat = FlatForest.from_sections(sections, prefix=prefix)
+        model._base = float(meta["base"])
+        model.stopped_reason_ = str(meta["stopped_reason"])
+        model.validation_errors_ = [
+            float(v) for v in sections[prefix + "val_errors"]
+        ]
+        model._frozen_n_trees = int(meta["n_trees_fitted"])
+        return model
+
     @property
     def n_trees_fitted(self) -> int:
-        return len(self._trees)
+        if self._trees:
+            return len(self._trees)
+        return getattr(self, "_frozen_n_trees", 0)
 
     @property
     def final_validation_error(self) -> float:

@@ -233,6 +233,38 @@ class FlatForest:
             pos = np.where(active, step, pos)
         return self.value[pos]
 
+    def to_sections(self, prefix: str = "") -> dict:
+        """The node table as named arrays for the columnar blob format.
+
+        These are exactly the arrays :meth:`leaf_values` gathers from,
+        so a forest restored by :meth:`from_sections` — including one
+        whose sections are read-only ``np.memmap`` views — traverses
+        the identical table and produces bit-identical leaf values.
+        """
+        return {
+            prefix + "feature": self.feature,
+            prefix + "threshold": self.threshold,
+            prefix + "children": self.children,
+            prefix + "value": self.value,
+            prefix + "roots": self.roots,
+        }
+
+    @classmethod
+    def from_sections(cls, sections, prefix: str = "") -> "FlatForest":
+        """Rebuild from stored sections (arrays are used as-is, zero copy).
+
+        The traversal only ever *reads* the node table, so read-only
+        memmap sections are safe: gathers (fancy indexing) return fresh
+        ndarrays and all mutation happens in per-call position arrays.
+        """
+        return cls(
+            sections[prefix + "feature"],
+            sections[prefix + "threshold"],
+            sections[prefix + "children"],
+            sections[prefix + "value"],
+            sections[prefix + "roots"],
+        )
+
     def __getstate__(self):
         return (self.feature, self.threshold, self.children, self.value, self.roots)
 

@@ -300,6 +300,77 @@ class HierarchicalModel:
         ]
         return self._blend(predictions)
 
+    # ------------------------------------------------------------------
+    def to_sections(self):
+        """Lower the fitted model into ``(sections, meta)`` for the blob
+        format.
+
+        Only the default all-:class:`GradientBoostedTrees` composition
+        lowers — per-component node tables, bin edges and stacking
+        weights become array sections, scalars become JSON meta.  A
+        custom ``component_factory`` (arbitrary estimators) raises
+        ``ValueError``; the store falls back to pickling those.
+        """
+        if not self._components or self._weights is None:
+            raise ValueError("model is not fitted")
+        if self.component_factory is not None or not all(
+            isinstance(c, GradientBoostedTrees) for c in self._components
+        ):
+            raise ValueError("only default GBT components lower to sections")
+        sections = {
+            "weights": np.asarray(self._weights, dtype=float),
+            "holdout": np.asarray([self.holdout_error_], dtype=float),
+        }
+        component_meta = []
+        for i, component in enumerate(self._components):
+            comp_sections, comp_meta = component.to_sections(prefix=f"c{i}.")
+            sections.update(comp_sections)
+            component_meta.append(comp_meta)
+        meta = {
+            "n_trees": int(self.n_trees),
+            "learning_rate": float(self.learning_rate),
+            "tree_complexity": int(self.tree_complexity),
+            "subsample": float(self.subsample),
+            "target_accuracy": float(self.target_accuracy),
+            "max_order": int(self.max_order),
+            "validation_fraction": float(self.validation_fraction),
+            "patience": int(self.patience),
+            "random_state": int(self.random_state),
+            "order": int(self.order_),
+            "components": component_meta,
+        }
+        return sections, meta
+
+    @classmethod
+    def from_sections(cls, sections, meta) -> "HierarchicalModel":
+        """Rebuild a model from stored sections (zero copy; see
+        :meth:`GradientBoostedTrees.from_sections`).
+
+        The restored model predicts bit-for-bit like the original and
+        supports :meth:`resume_fit` — missing orders are refitted and
+        re-stacked against the frozen ones.
+        """
+        model = cls(
+            n_trees=int(meta["n_trees"]),
+            learning_rate=float(meta["learning_rate"]),
+            tree_complexity=int(meta["tree_complexity"]),
+            subsample=float(meta["subsample"]),
+            target_accuracy=float(meta["target_accuracy"]),
+            max_order=int(meta["max_order"]),
+            validation_fraction=float(meta["validation_fraction"]),
+            patience=int(meta["patience"]),
+            random_state=int(meta["random_state"]),
+        )
+        model._components = [
+            GradientBoostedTrees.from_sections(sections, comp_meta, prefix=f"c{i}.")
+            for i, comp_meta in enumerate(meta["components"])
+        ]
+        model._weights = np.asarray(sections["weights"], dtype=float)
+        model.holdout_error_ = float(np.asarray(sections["holdout"])[0])
+        model.order_ = int(meta["order"])
+        model._merged = None
+        return model
+
     @property
     def n_components(self) -> int:
         return len(self._components)

@@ -62,6 +62,44 @@ def bin_with_edges(X: np.ndarray, edges: Sequence[np.ndarray]) -> np.ndarray:
     return codes
 
 
+#: Matrices above this size are never keyed by content — hashing them
+#: would materialize/scan every byte per lookup, which defeats the
+#: zero-copy path for mmap-backed inputs.
+_CACHE_CONTENT_BYTES = 1 << 20
+
+
+def _matrix_cache_key(X: np.ndarray):
+    """A cheap, stable cache key for a candidate matrix, or ``None``.
+
+    Memmap-backed matrices (store blobs are content-addressed and
+    immutable, spill files are written once) are keyed by the identity
+    of their mapping — (file, byte offset, shape, strides, dtype) —
+    without touching a single data page.  Small ordinary matrices keep
+    the exact content key.  Large ordinary matrices return ``None``
+    (no memoization): ``tobytes()`` on them costs a full private copy
+    per lookup, which is the bug this function exists to avoid.
+    """
+    base = X
+    while isinstance(base, np.ndarray):
+        if isinstance(base, np.memmap):
+            filename = getattr(base, "filename", None)
+            if filename:
+                return (
+                    "mmap",
+                    str(filename),
+                    X.__array_interface__["data"][0]
+                    - base.__array_interface__["data"][0],
+                    X.shape,
+                    X.strides,
+                    X.dtype.str,
+                )
+            break
+        base = base.base
+    if X.nbytes > _CACHE_CONTENT_BYTES:
+        return None
+    return ("bytes", np.ascontiguousarray(X).tobytes())
+
+
 class BinnedDataset:
     """Feature matrix pre-binned for fast split search.
 
@@ -102,7 +140,28 @@ class BinnedDataset:
             codes[:, j] = np.searchsorted(edges, column, side="right")
         self.codes = codes
         self.n_bins = np.array([len(e) + 1 for e in self.edges], dtype=np.int64)
-        self._code_cache: Dict[bytes, np.ndarray] = {}
+        self._code_cache: Dict[object, np.ndarray] = {}
+
+    @classmethod
+    def from_edges(
+        cls, edges: Sequence[np.ndarray], max_bins: int = DEFAULT_BINS
+    ) -> "BinnedDataset":
+        """A predict-only binner rebuilt from stored edges.
+
+        Section-restored models carry no training rows — only the
+        quantile edges, which are all :meth:`bin_matrix` needs.  The
+        edge arrays are used as-is (they may be read-only memmap
+        views), so reconstruction touches no data pages.
+        """
+        self = cls.__new__(cls)
+        self.n_samples = 0
+        self.n_features = len(edges)
+        self.max_bins = max_bins
+        self.edges = [np.ascontiguousarray(e, dtype=float) for e in edges]
+        self.codes = np.empty((0, self.n_features), dtype=np.uint8)
+        self.n_bins = np.array([len(e) + 1 for e in self.edges], dtype=np.int64)
+        self._code_cache = {}
+        return self
 
     def bin_matrix(self, X: np.ndarray) -> np.ndarray:
         """Bin new samples with the training edges.
@@ -110,12 +169,16 @@ class BinnedDataset:
         Binning is one vectorized pass (:func:`bin_with_edges`), and the
         resulting codes are memoized per input matrix — the GA predicts
         the same holdout/validation matrices repeatedly, and a cache hit
-        is a dict lookup instead of any arithmetic.
+        is a dict lookup instead of any arithmetic.  Mmap-backed
+        matrices are keyed by their mapping identity, large heap
+        matrices bypass the memo (see :func:`_matrix_cache_key`).
         """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self.n_features:
             raise ValueError(f"expected (n, {self.n_features}) matrix")
-        key = np.ascontiguousarray(X).tobytes()
+        key = _matrix_cache_key(X)
+        if key is None:
+            return bin_with_edges(X, self.edges).astype(np.uint8)
         cached = self._code_cache.get(key)
         if cached is not None:
             return cached

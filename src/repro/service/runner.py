@@ -240,7 +240,9 @@ class JobRunner:
         key = record.artifact_key("training")
 
         if progress.get("done"):
-            training = store.get_training_set(key)
+            # Completed checkpoint: map it read-only — workers on one
+            # host share a single page-cache copy of the matrix.
+            training = store.get_training_set(key, mode="mmap")
             if training is not None and len(training) == request.n_train:
                 return training
             progress.clear()  # artifact lost/torn: re-collect
@@ -313,7 +315,9 @@ class JobRunner:
             or prior.request.n_train != request.n_train
         ):
             return None
-        return self.store.get_training_set(prior.artifact_key("training"))
+        return self.store.get_training_set(
+            prior.artifact_key("training"), mode="mmap"
+        )
 
     # -- phase: fit -----------------------------------------------------
     def _phase_fit(
@@ -329,7 +333,9 @@ class JobRunner:
         key = record.artifact_key("model")
 
         if progress.get("done"):
-            model = store.get_model(key)
+            # Completed checkpoint: the node tables come back as
+            # read-only memmap views — zero deserialization.
+            model = store.get_model(key, mode="mmap")
             if model is not None:
                 tuner.model = model
                 return
@@ -374,7 +380,7 @@ class JobRunner:
             return None
         if not request.model_params_match(prior.request):
             return None
-        return self.store.get_model(prior.artifact_key("model"))
+        return self.store.get_model(prior.artifact_key("model"), mode="mmap")
 
     # -- phase: search --------------------------------------------------
     def _phase_search(
@@ -536,4 +542,7 @@ class JobRunner:
 
     @staticmethod
     def _hours(training: TrainingSet) -> float:
-        return float(sum(v.seconds for v in training.vectors) / 3600.0)
+        # Left-to-right over times(): the same float adds for eager,
+        # column-backed and mmap-loaded sets (the value feeds the
+        # report fingerprint).
+        return float(sum(float(s) for s in training.times()) / 3600.0)

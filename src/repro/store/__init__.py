@@ -9,8 +9,15 @@ artifacts are detected and treated as absent.
 
 * :mod:`repro.store.artifacts` — the self-verifying artifact file
   format (atomic tmp-file + rename, header + SHA-256 digest);
+* :mod:`repro.store.blobfmt` — the columnar blob container nested
+  inside artifacts: aligned, per-section-checksummed arrays that
+  decode as zero-copy views or memory-map straight from the file;
+* :mod:`repro.store.matrixbuilder` — streaming row accumulation with
+  spill-to-disk for larger-than-RAM training matrices;
 * :mod:`repro.store.runstore` — :class:`RunStore`, the
-  content-addressed object store + append-only index + job records.
+  content-addressed object store + append-only index + job records,
+  with codec-dispatched typed reads (``mode="mmap"`` for zero-copy)
+  and :meth:`RunStore.gc`.
 
 :mod:`repro.service` builds the scheduler and checkpointing job runner
 on top of this package.
@@ -20,8 +27,16 @@ from repro.store.artifacts import (
     ArtifactError,
     payload_digest,
     read_artifact,
+    read_artifact_header,
     write_artifact,
 )
+from repro.store.blobfmt import (
+    BlobError,
+    decode_sections,
+    encode_sections,
+    map_sections,
+)
+from repro.store.matrixbuilder import MatrixBuilder
 from repro.store.runstore import (
     KIND_SCHEMAS,
     STORE_SCHEMA,
@@ -32,12 +47,18 @@ from repro.store.runstore import (
 
 __all__ = [
     "ArtifactError",
+    "BlobError",
     "KIND_SCHEMAS",
+    "MatrixBuilder",
     "RunStore",
     "STORE_SCHEMA",
     "StoreError",
+    "decode_sections",
+    "encode_sections",
+    "map_sections",
     "payload_digest",
     "read_artifact",
+    "read_artifact_header",
     "report_fingerprint",
     "write_artifact",
 ]

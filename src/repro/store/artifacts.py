@@ -83,6 +83,53 @@ def write_artifact(
     return digest
 
 
+#: Header-line read chunk; a real header is well under this.
+_HEADER_PROBE_BYTES = 64 * 1024
+
+
+def read_artifact_header(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, object], int]:
+    """Read and validate only the header; returns ``(header, payload_offset)``.
+
+    The zero-copy read path: the payload is *not* read or digested —
+    only its declared size is checked against the file length, which
+    catches truncation without touching the data pages.  Callers that
+    skip :func:`read_artifact`'s full digest check are trusting the
+    store's atomic-rename invariant (a visible blob is a completely
+    written blob) plus the payload's own internal checksums, which the
+    columnar blob format provides per section.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with path.open("rb") as handle:
+            head = handle.read(_HEADER_PROBE_BYTES)
+    except OSError as exc:
+        raise ArtifactError(f"{path}: unreadable ({exc})") from exc
+    newline = head.find(b"\n")
+    if newline < 0:
+        raise ArtifactError(f"{path}: no header line")
+    try:
+        header = json.loads(head[:newline].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactError(f"{path}: bad header ({exc})") from exc
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise ArtifactError(f"{path}: not an artifact")
+    if header.get("container") != CONTAINER_VERSION:
+        raise ArtifactError(
+            f"{path}: container version {header.get('container')!r} "
+            f"!= {CONTAINER_VERSION}"
+        )
+    payload_offset = newline + 1
+    if size - payload_offset != header.get("size"):
+        raise ArtifactError(
+            f"{path}: truncated ({size - payload_offset} of "
+            f"{header.get('size')} bytes)"
+        )
+    return header, payload_offset
+
+
 def read_artifact(path: Union[str, Path]) -> Tuple[Dict[str, object], bytes]:
     """Read and verify an artifact; returns ``(header, payload)``.
 

@@ -1,0 +1,125 @@
+"""Bounded-memory accumulation of a row-chunked matrix.
+
+The collector produces the training matrix one batch of rows at a
+time; for large collections the assembled matrix should never need to
+be resident as Python objects *or* as one private heap block.
+:class:`MatrixBuilder` accepts row chunks, keeps them in RAM up to a
+budget, then spills everything to an anonymous temp file and keeps
+appending there.  :meth:`finalize` returns either an ordinary array
+(small case) or a read-only :class:`numpy.memmap` over the spill file
+(large case) — callers index it the same way either way, and the OS
+pages the spilled data in and out as touched.
+
+The spill file is unlinked immediately after the memmap opens (POSIX
+keeps it alive while mapped), so crashed builders leave no litter on
+any OS where unlink-while-open works; elsewhere the temp dir's normal
+cleanup applies.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List, Optional, Union
+
+import numpy as np
+
+#: Default RAM budget before chunks spill to disk.
+DEFAULT_SPILL_BYTES = 64 << 20
+
+
+class MatrixBuilder:
+    """Append (k, n_cols) float64 row chunks; finalize to one matrix."""
+
+    def __init__(
+        self,
+        n_cols: int,
+        spill_bytes: int = DEFAULT_SPILL_BYTES,
+        spill_dir: Optional[str] = None,
+    ):
+        if n_cols < 1:
+            raise ValueError("n_cols must be >= 1")
+        self.n_cols = int(n_cols)
+        self.spill_bytes = int(spill_bytes)
+        self.spill_dir = spill_dir
+        self.n_rows = 0
+        self._chunks: List[np.ndarray] = []
+        self._buffered_bytes = 0
+        self._spill = None  # open binary file handle once spilled
+        self._finalized = False
+
+    @property
+    def spilled(self) -> bool:
+        return self._spill is not None
+
+    def append(self, rows: np.ndarray) -> None:
+        """Add a (k, n_cols) chunk of float64 rows."""
+        if self._finalized:
+            raise RuntimeError("builder is finalized")
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.n_cols:
+            raise ValueError(f"expected (k, {self.n_cols}) chunk, got {rows.shape}")
+        if len(rows) == 0:
+            return
+        self.n_rows += len(rows)
+        if self._spill is not None:
+            self._spill.write(rows.tobytes())
+            return
+        self._chunks.append(rows)
+        self._buffered_bytes += rows.nbytes
+        if self._buffered_bytes > self.spill_bytes:
+            self._spill_now()
+
+    def _spill_now(self) -> None:
+        self._spill = tempfile.NamedTemporaryFile(
+            prefix="repro-matrix-", suffix=".spill", dir=self.spill_dir, delete=False
+        )
+        for chunk in self._chunks:
+            self._spill.write(chunk.tobytes())
+        self._chunks = []
+        self._buffered_bytes = 0
+
+    def finalize(self) -> np.ndarray:
+        """The assembled (n_rows, n_cols) matrix, read-only.
+
+        RAM-resident builds return a normal array; spilled builds a
+        read-only memmap over the (already unlinked) spill file.
+        """
+        if self._finalized:
+            raise RuntimeError("builder is finalized")
+        self._finalized = True
+        if self._spill is None:
+            if not self._chunks:
+                matrix = np.empty((0, self.n_cols), dtype=np.float64)
+            else:
+                matrix = np.vstack(self._chunks)
+            self._chunks = []
+            matrix.setflags(write=False)
+            return matrix
+        self._spill.flush()
+        name = self._spill.name
+        self._spill.close()
+        self._spill = None
+        matrix = np.memmap(
+            name, dtype=np.float64, mode="r", shape=(self.n_rows, self.n_cols)
+        )
+        try:
+            os.unlink(name)  # mapping keeps the data alive on POSIX
+        except OSError:
+            pass
+        return matrix
+
+    def close(self) -> None:
+        """Discard buffered state (safe to call after finalize)."""
+        self._chunks = []
+        self._buffered_bytes = 0
+        if self._spill is not None:
+            name = self._spill.name
+            try:
+                self._spill.close()
+            finally:
+                self._spill = None
+                try:
+                    os.unlink(name)
+                except OSError:
+                    pass

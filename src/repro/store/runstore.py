@@ -277,34 +277,108 @@ class RunStore:
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None
 
-    def put_training_set(self, key: str, training_set: "TrainingSet") -> str:
-        """Store a training set in the paper's CSV format."""
-        from repro.io import dumps_training_set
+    # -- codec-dispatched typed artifacts -------------------------------
+    def _decode_with_codec(
+        self, key: str, kind: str, mode: str, **ctx
+    ) -> Optional[object]:
+        """Read a typed artifact through the codec its entry names.
 
-        payload = dumps_training_set(training_set).encode("utf-8")
-        return self.put_bytes(key, payload, kind="training_set", codec="csv")
+        ``mode="copy"`` reads + fully digest-verifies the payload, then
+        decodes; ``mode="mmap"`` (for codecs that support ``open``)
+        validates only the artifact header and hands the codec the file
+        path + payload offset, so the object comes back as read-only
+        memmap views sharing the page cache across processes.  Any
+        defect — unknown codec (written by newer code), mismatched
+        header, corrupt section, undecodable payload — reads as
+        ``None``, the store's uniform "absent" answer.
+        """
+        from repro.io import codecs
+        from repro.store.blobfmt import BlobError
 
-    def get_training_set(self, key: str, space=None) -> Optional["TrainingSet"]:
-        from repro.io import loads_training_set
-        from repro.sparksim.confspace import SPARK_CONF_SPACE
+        entry = self.entry(key)
+        if entry is None or entry.get("kind") != kind:
+            return None
+        if entry.get("schema") != KIND_SCHEMAS[kind]:
+            return None
+        codec = codecs.lookup(kind, str(entry.get("codec")))
+        if codec is None:
+            return None
+        path = self._object_path(str(entry["digest"]))
+        if mode == "mmap" and codec.open is not None:
+            from repro.store.artifacts import read_artifact_header
 
-        payload = self.get_bytes(key, kind="training_set")
-        if payload is None:
+            try:
+                header, offset = read_artifact_header(path)
+            except ArtifactError:
+                return None
+            if (
+                header.get("kind") != kind
+                or header.get("schema") != KIND_SCHEMAS[kind]
+            ):
+                return None
+            try:
+                return codec.open(path, offset, **ctx)
+            except (BlobError, codecs.CodecError, OSError, ValueError, KeyError):
+                return None
+        try:
+            header, payload = read_artifact(path)
+        except ArtifactError:
+            return None
+        if header.get("kind") != kind or header.get("schema") != KIND_SCHEMAS[kind]:
             return None
         try:
-            return loads_training_set(
-                payload.decode("utf-8"),
-                space if space is not None else SPARK_CONF_SPACE,
-                source=key,
-            )
-        except (ValueError, UnicodeDecodeError):
+            return codec.decode(payload, **ctx)
+        except Exception:  # undecodable-but-digest-valid: treat as absent
             return None
 
-    def put_model(self, key: str, model: "HierarchicalModel") -> str:
-        return self.put_object(key, model, kind="model")
+    def put_training_set(self, key: str, training_set: "TrainingSet") -> str:
+        """Store a training set in the columnar blob format."""
+        from repro.io import codecs
 
-    def get_model(self, key: str) -> Optional["HierarchicalModel"]:
-        return self.get_object(key, kind="model")  # type: ignore[return-value]
+        codec = codecs.default_for("training_set")
+        payload = codec.encode(training_set)
+        return self.put_bytes(key, payload, kind="training_set", codec=codec.name)
+
+    def get_training_set(
+        self, key: str, space=None, mode: str = "copy"
+    ) -> Optional["TrainingSet"]:
+        """The stored training set, or ``None``.
+
+        ``mode="mmap"`` returns a column-backed set whose arrays are
+        read-only views over the artifact file (blob-codec entries
+        only; legacy CSV entries always copy).
+        """
+        return self._decode_with_codec(
+            key, "training_set", mode, space=space, source=key
+        )  # type: ignore[return-value]
+
+    def put_model(self, key: str, model: "HierarchicalModel") -> str:
+        """Store a model, lowering it to blob sections when possible.
+
+        Models that don't lower (custom ``component_factory``
+        estimators) fall back to the pickle codec — both read back
+        through :meth:`get_model` transparently.
+        """
+        from repro.io import codecs
+
+        codec = codecs.default_for("model")
+        try:
+            payload = codec.encode(model)
+        except codecs.CodecError:
+            return self.put_object(key, model, kind="model")
+        return self.put_bytes(key, payload, kind="model", codec=codec.name)
+
+    def get_model(
+        self, key: str, mode: str = "copy"
+    ) -> Optional["HierarchicalModel"]:
+        """The stored model, or ``None``.
+
+        ``mode="mmap"`` maps the node tables and bin edges read-only
+        from the artifact file — loading touches no array data, and N
+        processes share one page-cache copy.  Predictions are
+        bit-for-bit identical on every path.
+        """
+        return self._decode_with_codec(key, "model", mode)  # type: ignore[return-value]
 
     def put_ga_state(self, key: str, state: "GaState") -> str:
         return self.put_object(key, state, kind="ga_state")
@@ -341,6 +415,70 @@ class RunStore:
                 records.append(record)
         records.sort(key=lambda r: (r.get("created", 0), str(r.get("job_id", ""))))
         return records
+
+    # -- garbage collection ---------------------------------------------
+    def gc(
+        self,
+        apply: bool = False,
+        min_age_seconds: float = 3600.0,
+        _now: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Sweep object blobs no index entry references any more.
+
+        The index is append-only and latest-wins, so superseded
+        versions of a key (re-collected training sets, per-order model
+        checkpoints overwritten in place, every GA-generation state but
+        the last) accumulate as unreferenced blobs.  Job records point
+        at artifacts only *through* index keys, so the latest index
+        digests are exactly the live set.
+
+        Dry-run by default: returns a report of what would go without
+        touching anything; ``apply=True`` deletes.  Blobs younger than
+        ``min_age_seconds`` are kept regardless — a concurrent writer
+        puts the blob *before* the index line, and the age floor keeps
+        the sweep from racing that window.  Stale ``.*.tmp`` litter
+        from crashed writers is swept by the same rule.
+        """
+        now = time.time() if _now is None else _now
+        with self._lock:
+            self._index = None
+            live = {
+                str(entry.get("digest")) for entry in self._load_index().values()
+            }
+        report: Dict[str, object] = {
+            "live": 0,
+            "swept": [],
+            "skipped_young": 0,
+            "tmp_swept": 0,
+            "reclaimed_bytes": 0,
+            "applied": bool(apply),
+        }
+        for path in sorted((self.root / "objects").glob("*/*")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with another sweeper
+            young = now - stat.st_mtime < min_age_seconds
+            if path.name.startswith("."):
+                if young:
+                    report["skipped_young"] += 1
+                    continue
+                report["tmp_swept"] += 1
+                report["reclaimed_bytes"] += stat.st_size
+                if apply:
+                    path.unlink(missing_ok=True)
+                continue
+            if path.name in live:
+                report["live"] += 1
+                continue
+            if young:
+                report["skipped_young"] += 1
+                continue
+            report["swept"].append({"digest": path.name, "bytes": stat.st_size})
+            report["reclaimed_bytes"] += stat.st_size
+            if apply:
+                path.unlink(missing_ok=True)
+        return report
 
 
 def report_fingerprint(report: "TuningReport") -> str:

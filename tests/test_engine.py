@@ -225,15 +225,31 @@ def test_cli_rejects_unknown_backend(capsys):
         build_parser().parse_args(["run", "TS", "--size", "30", "--backend", "thread"])
 
 
-def test_disk_cache_entries_carry_format_tag(space, tmp_path):
-    from repro.engine import CACHE_FORMAT
+def test_disk_cache_entries_are_blob_containers(space, tmp_path):
+    from repro.store import blobfmt
 
     backend = CachedBackend(InProcessBackend(), directory=tmp_path)
     backend.submit(_requests(space, n=1))
     entries = list(tmp_path.glob("*.pkl"))
     assert entries and all(
-        e.read_bytes().startswith(CACHE_FORMAT) for e in entries
+        e.read_bytes().startswith(blobfmt.MAGIC) for e in entries
     )
+
+
+def test_legacy_tagged_pickle_entry_still_serves(space, tmp_path):
+    """Entries written under the old tagged-pickle layout keep hitting."""
+    request = _requests(space, n=1)[0]
+    warm = CachedBackend(InProcessBackend(), directory=tmp_path)
+    expected = warm.submit([request])[0].run
+    entry = next(tmp_path.glob("*.pkl"))
+    from repro.engine import CACHE_FORMAT
+
+    entry.write_bytes(CACHE_FORMAT + pickle.dumps(expected))
+
+    cold = CachedBackend(InProcessBackend(), directory=tmp_path)
+    outcome = cold.submit([request])[0]
+    assert outcome.cache_hit and cold.inner.stats.runs == 0
+    assert outcome.run.seconds == expected.seconds
 
 
 def test_stale_format_entry_invalidated_and_rewritten(space, tmp_path):
@@ -245,12 +261,12 @@ def test_stale_format_entry_invalidated_and_rewritten(space, tmp_path):
     entry = next(tmp_path.glob("*.pkl"))
     entry.write_bytes(b"repro-cache/0\n" + pickle.dumps(expected))
 
-    from repro.engine import CACHE_FORMAT
+    from repro.store import blobfmt
 
     cold = CachedBackend(InProcessBackend(), directory=tmp_path)
     outcome = cold.submit([request])[0]
     assert not outcome.cache_hit  # stale format did not serve
-    assert entry.read_bytes().startswith(CACHE_FORMAT)  # rewritten
+    assert entry.read_bytes().startswith(blobfmt.MAGIC)  # rewritten
     assert outcome.run.seconds == expected.seconds
 
 

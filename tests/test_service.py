@@ -360,10 +360,17 @@ class TestDrain:
         assert finished == []
         assert service.get(record.job_id).state == QUEUED
 
-    def test_old_path_checkpoint_resumes_to_same_fingerprint(self, tmp_path):
-        """A checkpoint whose pickled model predates the flat-inference
-        layer (no ``_flat``/``_merged``/``_code_cache`` in the state)
-        resumes on the new code to the byte-identical fingerprint."""
+    def test_old_path_checkpoint_resumes_to_same_fingerprint(
+        self, tmp_path, monkeypatch
+    ):
+        """A mixed-format resume: a worker running the *old* code level
+        (pickle-codec model checkpoints, no flat-cache slots in the
+        state) drains mid-fit, and a worker on the current code —
+        which reads the legacy pickle and writes columnar-blob
+        checkpoints — finishes the job to the byte-identical
+        fingerprint."""
+        from repro.store import RunStore
+
         service = JobService(tmp_path / "store", use_cache=False)
         record = service.submit(_request())
 
@@ -372,8 +379,16 @@ class TestDrain:
             fit = data.get("progress", {}).get("fit", {})
             return fit.get("orders_done", 0) >= 1
 
-        service.work(poll_interval=0.01, idle_polls=2,
-                     drain=drained_past_first_order)
+        # The first session checkpoints through the legacy pickle path,
+        # exactly as a pre-blob-format worker did.
+        with monkeypatch.context() as patched:
+            patched.setattr(
+                RunStore,
+                "put_model",
+                lambda self, key, model: self.put_object(key, model, kind="model"),
+            )
+            service.work(poll_interval=0.01, idle_polls=2,
+                         drain=drained_past_first_order)
         paused = service.get(record.job_id)
         assert paused.state == RUNNING
         assert paused.progress["fit"]["orders_done"] >= 1
@@ -382,13 +397,15 @@ class TestDrain:
         # have pickled it: strip every flat-cache slot, then re-store.
         key = record.artifact_key("model")
         model = service.store.get_model(key)
+        assert service.store.entry(key)["codec"] == "pickle"
+        assert model._components[0]._trees  # legacy pickles carry trees
         model.__dict__.pop("_merged")
         for component in model._components:
             component.__dict__.pop("_flat")
             component._binner.__dict__.pop("_code_cache")
             for tree in component._trees:
                 tree.__dict__.pop("_flat")
-        service.store.put_model(key, model)
+        service.store.put_object(key, model, kind="model")
 
         other = JobService(tmp_path / "store", use_cache=False, worker_id="w2")
         done = other.work(poll_interval=0.01, idle_polls=3)
