@@ -104,3 +104,76 @@ def test_disabled_overhead_below_one_percent():
         f"disabled path: {per_call * 1e9:.0f}ns x {calls} calls = "
         f"{overhead * 1e3:.3f}ms vs {wall:.3f}s run"
     )
+
+
+def test_rollup_100k_events_under_budget(tmp_path):
+    """Aggregation throughput: 100k logged events ingest within budget.
+
+    `repro top` must catch up on a large backlog (a long fleet run it
+    was not watching from the start) fast enough to feel instant.  The
+    budget is deliberately loose for noisy CI runners; locally this
+    runs an order of magnitude faster.
+    """
+    import json
+
+    from repro.telemetry.aggregate import LogAggregator, Rollup
+
+    n = 100_000
+    lines = [json.dumps({"kind": "meta", "version": 1, "wall_start": 0.0,
+                         "pid": 1})]
+    for i in range(n):
+        lines.append(json.dumps({
+            "kind": "event", "name": f"engine.request.{i % 8}",
+            "ts": i * 0.001, "parent": 0,
+            "fields": {"queue_wait": (i % 50) * 0.01, "ok": True},
+        }))
+    (tmp_path / "worker-bench.jsonl").write_text("\n".join(lines) + "\n")
+
+    aggregator = LogAggregator(tmp_path)
+    rollup = Rollup(window=3600.0, max_samples=4096)
+    start = time.perf_counter()
+    rollup.extend(aggregator.poll())
+    elapsed = time.perf_counter() - start
+
+    assert rollup.total == n
+    assert elapsed < 10.0, f"100k-event ingest took {elapsed:.2f}s"
+    print(f"\n100k events ingested in {elapsed:.3f}s "
+          f"({n / elapsed / 1e3:.0f}k records/s)")
+
+
+def test_dashboard_refresh_overhead_below_one_percent(tmp_path):
+    """Arithmetic bound: watching a fleet costs <1% of its wall clock.
+
+    `repro top` polls at 1 Hz, so its worst-case tax on the machine is
+    (per-snapshot cost) x (1 snapshot per second of run).  Measure one
+    real job's wall time and the dashboard's steady-state snapshot cost
+    against the store that run left behind; the bound holds when a
+    snapshot costs under 10ms.
+    """
+    from repro.service import JobService, TuneRequest
+    from repro.telemetry.dashboard import FleetDashboard
+    from repro.store import RunStore
+
+    store_root = tmp_path / "store"
+    service = JobService(store_root, use_cache=False, worker_id="bench")
+    service.submit(TuneRequest(program="TS", size=10.0, n_train=40,
+                               n_trees=15, generations=3, seed=2))
+    start = time.perf_counter()
+    service.work(poll_interval=0.01, max_jobs=1, idle_polls=2)
+    wall = time.perf_counter() - start
+
+    dashboard = FleetDashboard(RunStore(store_root))
+    dashboard.snapshot()  # first call pays the backlog; steady state next
+    n = 50
+    start = time.perf_counter()
+    for _ in range(n):
+        dashboard.snapshot()
+    per_snapshot = (time.perf_counter() - start) / n
+
+    overhead = per_snapshot * max(1.0, wall)  # 1 Hz refresh for the run
+    assert overhead < 0.01 * max(1.0, wall), (
+        f"snapshot {per_snapshot * 1e3:.2f}ms x 1 Hz over a {wall:.2f}s "
+        f"run = {overhead / max(1.0, wall):.2%} overhead"
+    )
+    print(f"\nsnapshot {per_snapshot * 1e3:.2f}ms; "
+          f"{per_snapshot / max(1.0, wall):.3%} of a {wall:.2f}s run at 1 Hz")

@@ -264,6 +264,56 @@ def main() -> int:
                   f"({sorted(issued)})")
             failures += 1
 
+    # 4c. the operator's view agrees: `repro top --once --json` must show
+    # every job done at 100% and no worker stuck in STALE limbo (SIGKILL
+    # victims age through stale into dead; clean exits report exited).
+    top = _repro("top", "--store", str(store), "--once", "--json")
+    if top.returncode != 0:
+        print(f"FAIL: repro top exited {top.returncode}: {top.stderr}")
+        failures += 1
+    else:
+        snap = json.loads(top.stdout)
+        for row in snap["jobs"]:
+            if row["state"] != "done" or row["progress"]["fraction"] != 1.0:
+                print(f"FAIL: top shows {row['job_id']} "
+                      f"state={row['state']} progress={row['progress']}")
+                failures += 1
+        stale = snap["summary"]["workers_stale"]
+        if stale:
+            print(f"FAIL: top shows {stale} stale workers after the run")
+            failures += 1
+        seen = {row["worker"] for row in snap["workers"]}
+        missing = {name for name in workers} - seen
+        if missing:
+            print(f"FAIL: workers never heartbeat: {sorted(missing)}")
+            failures += 1
+        print(
+            f"top: {snap['summary']['jobs_done']}/{snap['summary']['jobs_total']} "
+            f"jobs done; worker statuses "
+            + " ".join(f"{r['worker']}={r['status']}" for r in snap["workers"])
+        )
+
+    # 4d. export artifacts beside the store (CI uploads these) and prove
+    # the Prometheus output parses under the exposition grammar.
+    artifact = _repro(
+        "top", "--store", str(store), "--once", "--no-color",
+        "--prometheus", str(store / "fleet.prom"),
+        "--snapshot", str(store / "fleet.json"),
+    )
+    if artifact.returncode != 0:
+        print(f"FAIL: dashboard artifact render: {artifact.stderr}")
+        failures += 1
+    else:
+        (store / "dashboard.txt").write_text(artifact.stdout)
+        from repro.telemetry.export import ExpositionError, parse_exposition
+
+        try:
+            families = parse_exposition((store / "fleet.prom").read_text())
+            print(f"prometheus export: {len(families)} families parse cleanly")
+        except ExpositionError as exc:
+            print(f"FAIL: prometheus export rejected: {exc}")
+            failures += 1
+
     print(
         f"killed {len(killed_names)} workers ({' '.join(killed_names) or 'none'}); "
         f"{takeovers} jobs needed more than one session"

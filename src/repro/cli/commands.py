@@ -500,6 +500,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         use_cache=not getattr(args, "no_cache", False),
         worker_id=worker_id,
         lease_ttl=args.lease_ttl,
+        heartbeat_interval=getattr(args, "heartbeat_interval", None),
     )
 
     drain_hook = None
@@ -553,6 +554,65 @@ def cmd_worker(args: argparse.Namespace) -> int:
         _report_job(record)
     log.info("worker %s exiting after %d jobs", worker_id, len(finished))
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: the live fleet dashboard (or one-shot snapshot).
+
+    Read-only over the shared store: job records, heartbeat files and
+    event logs are tailed incrementally and joined into one frame.
+    ``--once --json`` emits the identical snapshot machine-readably;
+    ``--prometheus``/``--snapshot`` additionally export every frame.
+    """
+    import sys as _sys
+
+    from repro.store import RunStore
+    from repro.telemetry.dashboard import FleetDashboard, render_snapshot, run_top
+    from repro.telemetry.export import write_json_snapshot, write_prometheus
+
+    store = RunStore(Path(args.store))
+    prometheus_path = getattr(args, "prometheus", None)
+    snapshot_path = getattr(args, "snapshot", None)
+    if prometheus_path is None and snapshot_path is None:
+        return run_top(
+            store,
+            interval=args.interval,
+            frames=getattr(args, "frames", None),
+            once=getattr(args, "once", False),
+            as_json=getattr(args, "as_json", False),
+            color=False if getattr(args, "no_color", False) else None,
+        )
+
+    # Exporting loop: render + write side files each frame.
+    import json as _json
+    import time as _time
+
+    dashboard = FleetDashboard(store)
+    frames_left = getattr(args, "frames", None)
+    once = getattr(args, "once", False)
+    try:
+        while True:
+            snap = dashboard.snapshot()
+            if prometheus_path:
+                write_prometheus(prometheus_path, fleet_snapshot=snap)
+            if snapshot_path:
+                write_json_snapshot(snapshot_path, snap)
+            if getattr(args, "as_json", False):
+                _sys.stdout.write(
+                    _json.dumps(snap, sort_keys=True, default=str) + "\n"
+                )
+            else:
+                _sys.stdout.write(render_snapshot(snap, color=False) + "\n")
+            _sys.stdout.flush()
+            if once:
+                return 0
+            if frames_left is not None:
+                frames_left -= 1
+                if frames_left <= 0:
+                    return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_store(args: argparse.Namespace) -> int:

@@ -280,8 +280,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="graceful shutdown on SIGTERM/SIGINT: finish the "
                         "checkpoint in progress, release the lease and exit 0 "
                         "(the job stays resumable)")
+    worker.add_argument("--heartbeat-interval", type=float, default=None,
+                        metavar="SEC",
+                        help="seconds between heartbeat-file writes (default: "
+                        "lease TTL / 10, floor 0.5); other hosts declare this "
+                        "worker dead after ~3 missed beats")
     _add_engine_flags(worker)
     worker.set_defaults(handler=commands.cmd_worker)
+
+    # -- top -----------------------------------------------------------------
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a run store: jobs, workers, "
+        "GA convergence, engine health",
+        parents=[verbosity],
+    )
+    top.add_argument("--store", metavar="DIR", required=True,
+                     help="run store directory (shared across workers)")
+    top.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                     help="refresh period (default: 1)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the snapshot as JSON instead of a frame")
+    top.add_argument("--frames", type=int, default=None, metavar="N",
+                     help="exit after N frames (default: run until Ctrl-C)")
+    top.add_argument("--no-color", action="store_true",
+                     help="disable ANSI colors/in-place refresh")
+    top.add_argument("--prometheus", metavar="PATH", default=None,
+                     help="also write a Prometheus text-exposition file "
+                     "every frame (textfile-collector scrape target)")
+    top.add_argument("--snapshot", metavar="PATH", default=None,
+                     help="also write the JSON snapshot to PATH every frame")
+    top.set_defaults(handler=commands.cmd_top)
 
     # -- store ---------------------------------------------------------------
     store = sub.add_parser(

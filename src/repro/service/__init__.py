@@ -15,13 +15,32 @@ turns one-shot tuner invocations into durable *jobs*:
   renewal, expiry-based takeover, monotonic fencing tokens;
 * :mod:`repro.service.scheduler` — :class:`JobService`, the
   priority/FIFO queue, admission control, lease-based claiming and
-  the multi-host worker loop (:meth:`JobService.work`).
+  the multi-host worker loop (:meth:`JobService.work`);
+* :mod:`repro.service.health` — per-worker heartbeat files
+  (:class:`HeartbeatWriter`), heartbeat-accelerated dead-worker
+  detection (:func:`dead_worker_check`), and the joined
+  :class:`FleetView` behind ``repro top``.
 
 The CLI front ends are ``repro jobs submit|list|status|run|resume|cancel``
 and the long-lived ``repro worker``.
 """
 
 from repro.service.budget import BudgetedBackend, BudgetExceeded
+from repro.service.health import (
+    ALIVE,
+    DEAD,
+    EXITED,
+    STALE,
+    FleetView,
+    Heartbeat,
+    HeartbeatWriter,
+    dead_worker_check,
+    default_heartbeat_interval,
+    heartbeat_status,
+    job_progress,
+    read_heartbeat,
+    read_heartbeats,
+)
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -45,12 +64,18 @@ from repro.service.runner import JobRunner
 from repro.service.scheduler import AdmissionError, JobService
 
 __all__ = [
+    "ALIVE",
     "AdmissionError",
     "BudgetedBackend",
     "BudgetExceeded",
     "CANCELLED",
+    "DEAD",
     "DONE",
+    "EXITED",
     "FAILED",
+    "FleetView",
+    "Heartbeat",
+    "HeartbeatWriter",
     "JobRecord",
     "JobRunner",
     "JobService",
@@ -63,6 +88,13 @@ __all__ = [
     "PHASES",
     "QUEUED",
     "RUNNING",
+    "STALE",
     "TuneRequest",
+    "dead_worker_check",
+    "default_heartbeat_interval",
     "default_worker_id",
+    "heartbeat_status",
+    "job_progress",
+    "read_heartbeat",
+    "read_heartbeats",
 ]

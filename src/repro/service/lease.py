@@ -145,6 +145,13 @@ class LeaseManager:
         are detected early via the recorded pid).
     clock:
         Wall-clock source (injectable for deterministic expiry tests).
+    dead_worker_check:
+        Optional predicate over a live lease's holder: return True when
+        independent evidence (a stale heartbeat file — see
+        :func:`repro.service.health.dead_worker_check`) proves the
+        holder dead, letting takeover happen well before the TTL.
+        Fencing tokens keep a wrong verdict safe; this only changes how
+        *fast* a crash is noticed.
     """
 
     def __init__(
@@ -153,6 +160,7 @@ class LeaseManager:
         worker_id: Optional[str] = None,
         ttl: float = 30.0,
         clock: Callable[[], float] = time.time,
+        dead_worker_check: Optional[Callable[[LeaseInfo], bool]] = None,
     ):
         if ttl <= 0:
             raise ValueError("lease ttl must be positive")
@@ -161,6 +169,7 @@ class LeaseManager:
         self.worker_id = worker_id or default_worker_id()
         self.ttl = ttl
         self.clock = clock
+        self.dead_worker_check = dead_worker_check
         self.host = socket.gethostname()
 
     # -- paths ----------------------------------------------------------
@@ -196,7 +205,9 @@ class LeaseManager:
         Expiry is primarily the TTL deadline; additionally, a lease
         whose holder ran on *this* host under a pid that no longer
         exists is dead immediately — same-host crash recovery does not
-        wait out the TTL.
+        wait out the TTL.  A configured ``dead_worker_check`` extends
+        the early verdict cross-host: a holder whose heartbeat went
+        silent is expired without waiting out the TTL.
         """
         if self.clock() >= info.expires:
             return True
@@ -206,6 +217,12 @@ class LeaseManager:
             except ProcessLookupError:
                 return True
             except PermissionError:  # alive, owned by someone else
+                pass
+        if self.dead_worker_check is not None:
+            try:
+                if self.dead_worker_check(info):
+                    return True
+            except Exception:  # noqa: BLE001 - advisory signal only
                 pass
         return False
 

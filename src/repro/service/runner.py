@@ -42,6 +42,7 @@ from repro.engine import (
     InProcessBackend,
 )
 from repro.service.budget import BudgetedBackend, BudgetExceeded
+from repro.service.health import job_progress
 from repro.service.jobs import CANCELLED, DONE, FAILED, RUNNING, JobRecord, TuneRequest
 from repro.service.lease import Lease, LeaseLost
 from repro.store import RunStore, report_fingerprint
@@ -106,6 +107,11 @@ class JobRunner:
         #: stops at the next checkpoint boundary (after the persist),
         #: releases the lease and leaves the job RUNNING + resumable.
         self.should_stop: Optional[Callable[[], bool]] = None
+        #: Liveness hook: a :class:`~repro.service.health.HeartbeatWriter`
+        #: (or anything with ``maybe_beat()``) refreshed at every
+        #: checkpoint, on top of its own background thread — so a
+        #: heartbeat is guaranteed fresh whenever durable progress lands.
+        self.heartbeat = None
         #: Per-job leases for runs in flight (keyed by job id so one
         #: runner can drive several jobs from pool threads).
         self._leases: Dict[str, Lease] = {}
@@ -488,6 +494,16 @@ class JobRunner:
         start = time.perf_counter()
         persist()
         self._save(record, engine, session, wall_start=start)
+        progress = job_progress(record)
+        tele.event(
+            "job.progress",
+            job_id=record.job_id,
+            phase=progress["phase"],
+            done=progress["done"],
+            total=progress["total"],
+            fraction=progress["fraction"],
+            session=session,
+        )
         if self.should_stop is not None and self.should_stop():
             tele.event(
                 "job.drained",
@@ -514,6 +530,8 @@ class JobRunner:
             self._guard_fencing(record, lease)
             record.fencing_token = lease.token
             record.worker = lease.worker
+        if self.heartbeat is not None:
+            self.heartbeat.maybe_beat()
         record.touch()
         self.store.save_job(record.job_id, record.to_dict())
         record.checkpoint_wall_seconds += time.perf_counter() - start

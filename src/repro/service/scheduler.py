@@ -35,6 +35,11 @@ from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.engine import ExecutionBackend
+from repro.service.health import (
+    HeartbeatWriter,
+    dead_worker_check,
+    default_heartbeat_interval,
+)
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -67,6 +72,7 @@ class JobService:
         checkpoint_every: int = 1,
         worker_id: Optional[str] = None,
         lease_ttl: float = 30.0,
+        heartbeat_interval: Optional[float] = None,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -76,8 +82,18 @@ class JobService:
         self.max_concurrent = max_concurrent
         self.max_queued = max_queued
         self.default_budget = default_budget
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else default_heartbeat_interval(lease_ttl)
+        )
         self.leases = LeaseManager(
-            self.store.lease_dir, worker_id=worker_id, ttl=lease_ttl
+            self.store.lease_dir,
+            worker_id=worker_id,
+            ttl=lease_ttl,
+            # Takeover accelerator: a holder whose heartbeat file says
+            # dead/exited is expired without waiting out the TTL.
+            dead_worker_check=dead_worker_check(self.store.health_dir),
         )
         self.runner = JobRunner(
             self.store,
@@ -245,15 +261,30 @@ class JobService:
         abandons the job (still RUNNING, immediately claimable by any
         worker), and the loop exits — the graceful-shutdown protocol
         behind ``repro worker --drain``.
+
+        For the loop's lifetime the worker publishes a heartbeat file
+        under ``<store>/health/`` (a daemon thread beats every
+        ``heartbeat_interval`` seconds even mid-compute), so other
+        hosts — and ``repro top`` — can tell a crash from a long
+        generation.  The final beat on exit is marked ``exited``.
         """
         previous_hook = self.runner.should_stop
         if drain is not None:
             self.runner.should_stop = drain
+        heartbeat = HeartbeatWriter(
+            self.store.health_dir,
+            worker_id=self.worker_id,
+            interval=self.heartbeat_interval,
+        )
+        self.runner.heartbeat = heartbeat
         try:
-            return self._work_loop(
-                poll_interval, max_jobs, idle_polls, should_stop, drain
-            )
+            with heartbeat:
+                return self._work_loop(
+                    poll_interval, max_jobs, idle_polls, should_stop, drain,
+                    heartbeat,
+                )
         finally:
+            self.runner.heartbeat = None
             self.runner.should_stop = previous_hook
 
     def _work_loop(
@@ -263,6 +294,7 @@ class JobService:
         idle_polls: Optional[int],
         should_stop: Optional[Callable[[], bool]],
         drain: Optional[Callable[[], bool]],
+        heartbeat: Optional[HeartbeatWriter] = None,
     ) -> List[JobRecord]:
         finished: List[JobRecord] = []
         idle = 0
@@ -271,10 +303,20 @@ class JobService:
                 break
             if drain is not None and drain():
                 break
+            if heartbeat is not None:
+                heartbeat.maybe_beat()
             self.store.refresh()
             ran = None
             for job in self.claimable():
+                if heartbeat is not None:
+                    heartbeat.update(job=job.job_id)
                 ran = self._claim_and_run(job.job_id, states=(QUEUED, RUNNING))
+                if heartbeat is not None:
+                    heartbeat.update(
+                        clear_job=True,
+                        jobs_done=heartbeat.jobs_done
+                        + (1 if ran is not None else 0),
+                    )
                 if ran is not None:
                     break
             if ran is None:

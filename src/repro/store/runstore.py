@@ -107,7 +107,7 @@ class RunStore:
             )
         else:
             raise StoreError(f"{self.root}: not a run store")
-        for sub in ("objects", "jobs", "events", "cache", "leases"):
+        for sub in ("objects", "jobs", "events", "cache", "leases", "health"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # -- paths ----------------------------------------------------------
@@ -120,6 +120,11 @@ class RunStore:
     def lease_dir(self) -> Path:
         """Directory for per-job worker leases (:mod:`repro.service.lease`)."""
         return self.root / "leases"
+
+    @property
+    def health_dir(self) -> Path:
+        """Directory for per-worker heartbeat files (:mod:`repro.service.health`)."""
+        return self.root / "health"
 
     def event_log_path(self, job_id: str) -> Path:
         """The per-job JSONL telemetry event log (append across sessions)."""

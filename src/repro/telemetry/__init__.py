@@ -17,6 +17,13 @@ experiment scripts re-derive:
 * :mod:`repro.telemetry.trace` — event-log reading, the ``repro
   trace`` text timeline, and Chrome-trace (``chrome://tracing`` /
   Perfetto) export;
+* :mod:`repro.telemetry.aggregate` — merge N per-worker/per-job event
+  logs into one wall-clock-ordered stream with incremental tailing and
+  windowed rollups (rates, last-values, quantiles);
+* :mod:`repro.telemetry.dashboard` — the ``repro top`` live fleet
+  view (jobs/workers/engine panels, ANSI in-place refresh, ``--json``);
+* :mod:`repro.telemetry.export` — Prometheus text-exposition and JSON
+  snapshot writers over the same rollups;
 * :mod:`repro.telemetry.log` — structured logging behind the CLI's
   ``--verbose``/``--quiet``.
 
@@ -37,6 +44,13 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.telemetry.aggregate import (
+    LogAggregator,
+    LogCursor,
+    Rollup,
+    TaggedRecord,
+    read_tagged,
+)
 from repro.telemetry.events import (
     Telemetry,
     enabled,
@@ -44,6 +58,14 @@ from repro.telemetry.events import (
     get_telemetry,
     install,
     span,
+)
+from repro.telemetry.export import (
+    ExpositionError,
+    parse_exposition,
+    prometheus_from_fleet,
+    prometheus_from_metrics,
+    write_json_snapshot,
+    write_prometheus,
 )
 from repro.telemetry.log import configure_logging, get_logger
 from repro.telemetry.metrics import (
@@ -66,11 +88,16 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "EventLog",
+    "ExpositionError",
     "JsonlSink",
+    "LogAggregator",
+    "LogCursor",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NullRegistry",
     "RingBufferSink",
+    "Rollup",
+    "TaggedRecord",
     "Telemetry",
     "configure_logging",
     "disable",
@@ -83,13 +110,19 @@ __all__ = [
     "get_registry",
     "get_telemetry",
     "install",
+    "parse_exposition",
+    "prometheus_from_fleet",
+    "prometheus_from_metrics",
     "read_event_log",
+    "read_tagged",
     "render_timeline",
     "render_trace_report",
     "session",
     "set_registry",
     "span",
     "write_chrome_trace",
+    "write_json_snapshot",
+    "write_prometheus",
 ]
 
 #: Default ring capacity: enough for a FAST-scale tune run's records.

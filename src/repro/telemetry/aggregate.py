@@ -1,0 +1,481 @@
+"""Cross-log aggregation: N per-worker/per-job event logs, one stream.
+
+A fleet writes many JSONL event logs into one store — ``events/
+worker-<id>.jsonl`` per worker plus ``events/<job_id>.jsonl`` per job —
+each on its own process-local monotonic clock.  This module merges them
+into a single wall-clock-ordered stream and reduces it to windowed
+rollups the dashboard (:mod:`repro.telemetry.dashboard`) and the
+exporters (:mod:`repro.telemetry.export`) read:
+
+* :class:`LogCursor` — incremental tailer over one JSONL log: byte-
+  offset resume, torn-tail tolerance (a line still being written is
+  held back until its newline lands), and truncation/rotation detection
+  (file shrank or inode changed → reopen from the start);
+* :class:`LogAggregator` — discovers logs in a directory, polls every
+  cursor, converts per-session monotonic timestamps to wall time via
+  each session's ``meta`` record, and de-duplicates records fanned out
+  to several sinks (a job's records land in both the worker log and the
+  job log);
+* :class:`Rollup` — windowed reductions keyed by ``(name, labels)``:
+  counter rates, gauge last-values, and quantiles over any numeric
+  field (span durations included).
+
+Everything is tolerant by construction: unreadable lines, torn tails,
+out-of-order timestamps across logs, duplicated events after a worker
+resume, and empty or absent logs all merge without raising — an
+observer must never take the fleet down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "LogAggregator",
+    "LogCursor",
+    "Rollup",
+    "TaggedRecord",
+    "labels_for_log",
+    "read_tagged",
+]
+
+#: Aggregator de-dup ring capacity (keys of recently merged records).
+DEDUPE_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class TaggedRecord:
+    """One event-log record placed on the fleet's shared wall clock."""
+
+    #: Absolute wall-clock seconds (session ``wall_start`` + record ts).
+    wall: float
+    #: Where the record came from: ``{"worker": ...}`` or ``{"job": ...}``.
+    labels: Mapping[str, str]
+    #: The raw record dict as written by the sink.
+    record: Mapping[str, object]
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", ""))
+
+    @property
+    def kind(self) -> str:
+        return str(self.record.get("kind", ""))
+
+    @property
+    def fields(self) -> Mapping[str, object]:
+        fields = self.record.get("fields")
+        return fields if isinstance(fields, Mapping) else {}
+
+
+def labels_for_log(path: Union[str, Path]) -> Dict[str, str]:
+    """Labels derived from an event-log file name.
+
+    ``worker-<id>.jsonl`` carries a ``worker`` label; anything else in a
+    store's ``events/`` directory is a per-job log and carries ``job``.
+    """
+    stem = Path(path).stem
+    if stem.startswith("worker-"):
+        return {"worker": stem[len("worker-"):]}
+    return {"job": stem}
+
+
+class LogCursor:
+    """Incrementally read complete records from one JSONL event log.
+
+    Each :meth:`poll` returns the records appended since the previous
+    poll.  The cursor is byte-offset based and survives every way a
+    live log can misbehave:
+
+    * **absent file** — polls return nothing until it appears;
+    * **torn tail** — a final line with no newline (a writer mid-
+      ``write``, or a SIGKILL mid-record) is left in the file until a
+      later poll finds its newline; a torn line that never completes
+      (crash) is skipped when the next complete line lands after it;
+    * **truncation / rotation** — when the file shrank below our offset
+      or its inode changed, the cursor reopens from byte 0 (the
+      replacement file is a new log, not a continuation);
+    * **unreadable lines** — non-JSON, non-dict, or undecodable lines
+      are dropped, never raised.
+
+    Session ``meta`` records update the wall-clock epoch, so one file
+    holding several appended sessions (a resumed job) maps each
+    session's monotonic timestamps onto its own ``wall_start``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        labels: Optional[Mapping[str, str]] = None,
+    ):
+        self.path = Path(path)
+        self.labels: Dict[str, str] = dict(
+            labels if labels is not None else labels_for_log(path)
+        )
+        self._offset = 0
+        self._inode: Optional[int] = None
+        #: Wall-clock epoch of the current session (None before any meta).
+        self._wall_start: Optional[float] = None
+        self._carry = b""
+
+    def poll(self) -> List[TaggedRecord]:
+        """Records appended since the last poll (possibly empty)."""
+        try:
+            stat = self.path.stat()
+        except OSError:
+            # Gone (or not yet created): a recreated file is a new log.
+            self._reset()
+            return []
+        if self._inode is not None and (
+            stat.st_ino != self._inode or stat.st_size < self._offset
+        ):
+            self._reset()  # rotated or truncated: start over
+        self._inode = stat.st_ino
+        if stat.st_size <= self._offset:
+            return []
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        self._offset += len(chunk)
+        data = self._carry + chunk
+        # Hold back the torn tail (bytes after the last newline).
+        complete, sep, tail = data.rpartition(b"\n")
+        if not sep:
+            self._carry = data
+            return []
+        self._carry = tail
+        out: List[TaggedRecord] = []
+        for line in complete.split(b"\n"):
+            record = self._parse(line)
+            if record is None:
+                continue
+            if record.get("kind") == "meta":
+                try:
+                    self._wall_start = float(record["wall_start"])  # type: ignore[arg-type]
+                except (KeyError, TypeError, ValueError):
+                    pass
+                continue
+            out.append(
+                TaggedRecord(
+                    wall=self._wall(record), labels=self.labels, record=record
+                )
+            )
+        return out
+
+    def _wall(self, record: Mapping[str, object]) -> float:
+        try:
+            ts = float(record.get("ts", 0.0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            ts = 0.0
+        if self._wall_start is None:
+            return ts
+        return self._wall_start + ts
+
+    @staticmethod
+    def _parse(line: bytes) -> Optional[Dict[str, object]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _reset(self) -> None:
+        self._offset = 0
+        self._inode = None
+        self._wall_start = None
+        self._carry = b""
+
+
+class LogAggregator:
+    """Merge every event log in a directory into one ordered stream.
+
+    Logs are discovered on every poll (a job that starts mid-watch is
+    picked up), tailed incrementally, and the batch is sorted by wall
+    time.  Records that were fanned out to several sinks — the runner
+    taps a job's log into the worker's live pipeline, so the same emit
+    lands in both files — are de-duplicated; job logs are polled first,
+    so the surviving copy carries the more specific ``job`` label.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        pattern: str = "*.jsonl",
+        dedupe: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.pattern = pattern
+        self.dedupe = dedupe
+        self._cursors: Dict[Path, LogCursor] = {}
+        self._seen: "OrderedDict[Tuple, None]" = OrderedDict()
+
+    @property
+    def logs(self) -> List[Path]:
+        """The log files currently being tailed."""
+        return sorted(self._cursors)
+
+    def _discover(self) -> None:
+        try:
+            found = sorted(self.directory.glob(self.pattern))
+        except OSError:
+            return
+        for path in found:
+            if path not in self._cursors:
+                self._cursors[path] = LogCursor(path)
+
+    def poll(self) -> List[TaggedRecord]:
+        """All newly appended records across every log, ordered by wall."""
+        self._discover()
+        batch: List[TaggedRecord] = []
+        # Job logs before worker logs: the first copy of a duplicated
+        # record wins, and the job-labeled copy is the specific one.
+        ordered = sorted(
+            self._cursors,
+            key=lambda p: (p.stem.startswith("worker-"), str(p)),
+        )
+        for path in ordered:
+            records = self._cursors[path].poll()
+            if self.dedupe:
+                records = [r for r in records if self._fresh(r)]
+            batch.extend(records)
+        batch.sort(key=lambda tagged: tagged.wall)
+        return batch
+
+    def _fresh(self, tagged: TaggedRecord) -> bool:
+        record = tagged.record
+        try:
+            key = (
+                record.get("kind"),
+                record.get("name"),
+                record.get("id"),
+                round(tagged.wall, 6),
+                json.dumps(record.get("fields", {}), sort_keys=True, default=str),
+            )
+        except (TypeError, ValueError):
+            return True
+        if key in self._seen:
+            return False
+        self._seen[key] = None
+        while len(self._seen) > DEDUPE_CAPACITY:
+            self._seen.popitem(last=False)
+        return True
+
+
+# ----------------------------------------------------------------------
+# Windowed rollups
+# ----------------------------------------------------------------------
+_LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+@dataclass
+class _Series:
+    """One (name, labels) series: total count + a bounded sample window."""
+
+    count: int = 0
+    samples: Deque[Tuple[float, Mapping[str, object]]] = field(
+        default_factory=deque
+    )
+
+
+class Rollup:
+    """Windowed reductions over a tagged-record stream.
+
+    ``add()`` files each record under ``(record name, source labels)``;
+    queries reduce over every series matching a name (and, optionally,
+    an exact label set):
+
+    * :meth:`rate` — arrivals per second over the trailing window
+      (counter semantics);
+    * :meth:`last` — the most recent value of a field (gauge
+      semantics; resume-duplicated events collapse to the latest);
+    * :meth:`quantile` / :meth:`mean` — distribution over a numeric
+      field within the window (span durations are exposed as the
+      ``dur`` field).
+
+    "Now" is the largest wall time ever added, so rollups over a
+    finished log are reproducible and tests need no real clock.
+    """
+
+    def __init__(self, window: float = 60.0, max_samples: int = 1024):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.window = window
+        self.max_samples = max_samples
+        self._series: Dict[str, Dict[_LabelsKey, _Series]] = {}
+        self._now = 0.0
+        self.total = 0
+
+    # -- ingest ---------------------------------------------------------
+    def add(self, tagged: TaggedRecord) -> None:
+        """File one record (meta records are ignored upstream)."""
+        name = tagged.name
+        if not name:
+            return
+        fields: Dict[str, object] = dict(tagged.fields)
+        if tagged.kind == "span":
+            try:
+                fields["dur"] = float(tagged.record.get("dur", 0.0))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                pass
+        key = tuple(sorted((k, str(v)) for k, v in tagged.labels.items()))
+        series = self._series.setdefault(name, {}).setdefault(key, _Series())
+        series.count += 1
+        series.samples.append((tagged.wall, fields))
+        while len(series.samples) > self.max_samples:
+            series.samples.popleft()
+        if tagged.wall > self._now:
+            self._now = tagged.wall
+        self.total += 1
+
+    def extend(self, batch: Iterable[TaggedRecord]) -> None:
+        for tagged in batch:
+            self.add(tagged)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The rollup's clock: the latest wall time observed."""
+        return self._now
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def label_sets(self, name: str) -> List[Dict[str, str]]:
+        """Every label set under which ``name`` was observed."""
+        return [dict(key) for key in sorted(self._series.get(name, {}))]
+
+    def count(self, name: str, labels: Optional[Mapping[str, str]] = None) -> int:
+        """Total records ever filed under ``name`` (matching series)."""
+        return sum(s.count for s in self._matching(name, labels))
+
+    def rate(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        window: Optional[float] = None,
+    ) -> float:
+        """Arrivals per second over the trailing window."""
+        window = window if window is not None else self.window
+        cutoff = self._now - window
+        arrived = sum(
+            1
+            for series in self._matching(name, labels)
+            for wall, _ in series.samples
+            if wall >= cutoff
+        )
+        return arrived / window if window > 0 else 0.0
+
+    def last(
+        self,
+        name: str,
+        field_name: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Optional[object]:
+        """The newest value of ``field_name`` across matching series."""
+        best: Optional[Tuple[float, object]] = None
+        for series in self._matching(name, labels):
+            for wall, fields in reversed(series.samples):
+                if field_name in fields:
+                    if best is None or wall > best[0]:
+                        best = (wall, fields[field_name])
+                    break
+        return best[1] if best is not None else None
+
+    def values(
+        self,
+        name: str,
+        field_name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        window: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Time-ordered ``(wall, value)`` pairs of a numeric field."""
+        cutoff = None
+        if window is not None:
+            cutoff = self._now - window
+        out: List[Tuple[float, float]] = []
+        for series in self._matching(name, labels):
+            for wall, fields in series.samples:
+                if cutoff is not None and wall < cutoff:
+                    continue
+                value = fields.get(field_name)
+                try:
+                    out.append((wall, float(value)))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    def mean(
+        self,
+        name: str,
+        field_name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        window: Optional[float] = None,
+    ) -> Optional[float]:
+        values = [v for _, v in self.values(name, field_name, labels, window)]
+        return sum(values) / len(values) if values else None
+
+    def quantile(
+        self,
+        name: str,
+        field_name: str,
+        q: float,
+        labels: Optional[Mapping[str, str]] = None,
+        window: Optional[float] = None,
+    ) -> Optional[float]:
+        """Sample-exact quantile of a numeric field within the window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        values = sorted(
+            v for _, v in self.values(name, field_name, labels, window)
+        )
+        if not values:
+            return None
+        # Nearest-rank: the smallest value with cumulative freq >= q.
+        rank = max(1, math.ceil(q * len(values))) - 1
+        return values[min(rank, len(values) - 1)]
+
+    # ------------------------------------------------------------------
+    def _matching(
+        self, name: str, labels: Optional[Mapping[str, str]]
+    ) -> Sequence[_Series]:
+        by_labels = self._series.get(name)
+        if not by_labels:
+            return ()
+        if labels is None:
+            return tuple(by_labels.values())
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        series = by_labels.get(key)
+        return (series,) if series is not None else ()
+
+
+def read_tagged(paths: Iterable[Union[str, Path]]) -> List[TaggedRecord]:
+    """One-shot merge of complete logs (the batch analogue of polling)."""
+    out: List[TaggedRecord] = []
+    for path in paths:
+        out.extend(LogCursor(path).poll())
+    out.sort(key=lambda tagged: tagged.wall)
+    return out

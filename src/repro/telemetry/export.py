@@ -1,0 +1,400 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots.
+
+External scrapers should see exactly what ``repro top`` sees, so the
+exporters render the same sources — a :class:`MetricsSnapshot` and/or
+a fleet-dashboard snapshot dict — into two wire formats:
+
+* :func:`prometheus_from_metrics` / :func:`prometheus_from_fleet` —
+  the Prometheus `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+  (``# HELP``/``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` triples);
+* :func:`write_json_snapshot` — the dashboard snapshot dict, written
+  atomically so a scraping sidecar never reads a torn file.
+
+:func:`parse_exposition` is a strict validator for the text format —
+the CI gate proving every export line parses under the grammar — not a
+general Prometheus client.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import uuid
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.telemetry.metrics import MetricsSnapshot
+
+__all__ = [
+    "ExpositionError",
+    "parse_exposition",
+    "prometheus_from_fleet",
+    "prometheus_from_metrics",
+    "write_json_snapshot",
+    "write_prometheus",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _metric_name(raw: str) -> str:
+    """A valid Prometheus metric name from a dotted series name."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+    if not name or not _NAME_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _labels_str(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_metric_name(str(k))}="{_escape(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _split_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Parse the registry's ``name{k=v,...}`` rendering back apart."""
+    if "{" not in series:
+        return series, {}
+    name, _, rest = series.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        labels[key] = value
+    return name, labels
+
+
+class _Writer:
+    """Accumulate exposition lines, one HELP/TYPE header per family."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._headed: Dict[str, str] = {}
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        if self._headed.get(name) == kind:
+            return
+        self._headed[name] = kind
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self,
+        name: str,
+        labels: Mapping[str, object],
+        value: float,
+    ) -> None:
+        self.lines.append(f"{name}{_labels_str(labels)} {_fmt_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+
+def prometheus_from_metrics(
+    snapshot: MetricsSnapshot, prefix: str = "repro_"
+) -> str:
+    """Render a registry snapshot in the text exposition format."""
+    writer = _Writer()
+    for series in sorted(snapshot.counters):
+        raw, labels = _split_series(series)
+        name = _metric_name(prefix + raw) + "_total"
+        writer.header(name, "counter", f"repro counter {raw}")
+        writer.sample(name, labels, snapshot.counters[series])
+    for series in sorted(snapshot.gauges):
+        raw, labels = _split_series(series)
+        name = _metric_name(prefix + raw)
+        writer.header(name, "gauge", f"repro gauge {raw}")
+        writer.sample(name, labels, snapshot.gauges[series])
+    for series in sorted(snapshot.histograms):
+        raw, labels = _split_series(series)
+        name = _metric_name(prefix + raw)
+        hist = snapshot.histograms[series]
+        writer.header(name, "histogram", f"repro histogram {raw}")
+        for bound, cumulative in hist.buckets:
+            writer.sample(
+                name + "_bucket",
+                {**labels, "le": _fmt_value(bound)},
+                cumulative,
+            )
+        writer.sample(
+            name + "_bucket", {**labels, "le": "+Inf"}, hist.count
+        )
+        writer.sample(name + "_sum", labels, hist.sum)
+        writer.sample(name + "_count", labels, hist.count)
+    return writer.text()
+
+
+def prometheus_from_fleet(
+    snapshot: Mapping[str, object], prefix: str = "repro_fleet_"
+) -> str:
+    """Render a fleet-dashboard snapshot dict as Prometheus text.
+
+    One gauge family per observable: job progress/state, worker
+    heartbeat age and status, and the engine panel — everything an
+    alert rule would want ("any worker dead", "job stuck below 50%
+    for an hour", "cache hit rate collapsed").
+    """
+    writer = _Writer()
+
+    def gauge(name, help_text, labels, value):
+        if value is None:
+            return
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            return
+        full = _metric_name(prefix + name)
+        writer.header(full, "gauge", help_text)
+        writer.sample(full, labels, value)
+
+    summary = snapshot.get("summary", {}) or {}
+    for key, help_text in (
+        ("jobs_total", "jobs known to the store"),
+        ("jobs_done", "jobs in state done"),
+        ("jobs_active", "jobs queued or running"),
+        ("jobs_failed", "jobs in state failed"),
+        ("workers_alive", "workers with a fresh heartbeat"),
+        ("workers_stale", "workers with a stale heartbeat"),
+        ("workers_dead", "workers declared dead by heartbeat age"),
+    ):
+        gauge(key, help_text, {}, summary.get(key))
+
+    for job in snapshot.get("jobs", []) or []:
+        labels = {"job": job.get("job_id"), "program": job.get("program")}
+        progress = job.get("progress", {}) or {}
+        gauge(
+            "job_progress",
+            "current-phase checkpoint progress fraction",
+            {**labels, "phase": progress.get("phase")},
+            progress.get("fraction"),
+        )
+        gauge("job_sessions", "runner sessions", labels, job.get("sessions"))
+        gauge(
+            "job_state",
+            "1 for the record's current state",
+            {**labels, "state": job.get("state")},
+            1,
+        )
+        ga = job.get("ga", {}) or {}
+        gauge("job_ga_generation", "last GA generation", labels,
+              ga.get("generation"))
+        gauge("job_ga_best", "best GA fitness so far", labels, ga.get("best"))
+
+    for worker in snapshot.get("workers", []) or []:
+        labels = {"worker": worker.get("worker"), "host": worker.get("host")}
+        gauge(
+            "worker_heartbeat_age_seconds",
+            "seconds since the worker's last heartbeat",
+            labels,
+            worker.get("age"),
+        )
+        gauge(
+            "worker_up",
+            "1 while the worker's heartbeat is fresh",
+            labels,
+            1 if worker.get("status") == "alive" else 0,
+        )
+        gauge(
+            "worker_status",
+            "1 for the worker's current status",
+            {**labels, "status": worker.get("status")},
+            1,
+        )
+        gauge("worker_jobs_done", "jobs finished by this worker", labels,
+              worker.get("jobs_done"))
+        gauge("worker_heartbeat_seq", "monotonic heartbeat sequence", labels,
+              worker.get("seq"))
+
+    engine = snapshot.get("engine", {}) or {}
+    gauge("engine_runs_per_second", "substrate requests per second", {},
+          engine.get("runs_per_sec"))
+    gauge("engine_cache_hit_rate", "engine cache hit rate", {},
+          engine.get("cache_hit_rate"))
+    gauge("engine_queue_wait_seconds", "engine queue wait", {"quantile": "0.5"},
+          engine.get("queue_wait_p50"))
+    gauge("engine_queue_wait_seconds", "engine queue wait", {"quantile": "0.99"},
+          engine.get("queue_wait_p99"))
+    gauge("engine_requests", "substrate requests observed in window", {},
+          engine.get("requests"))
+
+    events = snapshot.get("events", {}) or {}
+    gauge("event_records", "event-log records aggregated", {},
+          events.get("records"))
+    gauge("event_logs", "event logs tailed", {}, events.get("logs"))
+    return writer.text()
+
+
+# ----------------------------------------------------------------------
+# Atomic writers
+# ----------------------------------------------------------------------
+def _write_atomic(path: Union[str, Path], text: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def write_prometheus(
+    path: Union[str, Path],
+    fleet_snapshot: Optional[Mapping[str, object]] = None,
+    metrics: Optional[MetricsSnapshot] = None,
+) -> Path:
+    """Write one or both exports to ``path`` atomically (scrape target).
+
+    The node-exporter "textfile collector" pattern: a sidecar (or the
+    dashboard loop itself) rewrites this file, and any Prometheus with
+    a textfile/file-sd scraper picks it up without a live HTTP port.
+    """
+    parts = []
+    if fleet_snapshot is not None:
+        parts.append(prometheus_from_fleet(fleet_snapshot))
+    if metrics is not None:
+        parts.append(prometheus_from_metrics(metrics))
+    return _write_atomic(path, "".join(parts))
+
+
+def write_json_snapshot(
+    path: Union[str, Path], snapshot: Mapping[str, object]
+) -> Path:
+    """Write the dashboard snapshot dict as JSON, atomically."""
+    return _write_atomic(
+        path, json.dumps(snapshot, sort_keys=True, default=str) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation (the CI gate)
+# ----------------------------------------------------------------------
+class ExpositionError(ValueError):
+    """A line violated the Prometheus text-exposition grammar."""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*'
+)
+_VALUE_RE = re.compile(
+    r"^(?:[+-]?Inf|NaN|[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)$"
+)
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Strictly parse text-exposition output; raises on any violation.
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels,
+    value), ...]}}``.  Enforced rules: valid metric/label names, quoted
+    and escape-valid label values, float-parsable sample values, TYPE
+    lines naming a known metric type, and samples belonging to the
+    family most recently TYPEd when headers are present.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family(name: str) -> Dict[str, object]:
+        return families.setdefault(
+            name, {"type": None, "help": None, "samples": []}
+        )
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            _, keyword, name = parts[:3]
+            rest = parts[3] if len(parts) > 3 else ""
+            if not _NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {lineno}: bad metric name {name!r} in {keyword}"
+                )
+            if keyword == "TYPE":
+                if rest not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ExpositionError(
+                        f"line {lineno}: unknown TYPE {rest!r}"
+                    )
+                if family(name)["samples"]:
+                    raise ExpositionError(
+                        f"line {lineno}: TYPE for {name} after its samples"
+                    )
+                family(name)["type"] = rest
+            else:
+                family(name)["help"] = rest
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(f"line {lineno}: unparsable sample {line!r}")
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        labels: Dict[str, str] = {}
+        if raw_labels:
+            position = 0
+            while position < len(raw_labels):
+                pair = _LABEL_PAIR_RE.match(raw_labels, position)
+                if not pair:
+                    raise ExpositionError(
+                        f"line {lineno}: bad label syntax in {raw_labels!r}"
+                    )
+                labels[pair.group("key")] = pair.group("value")
+                position = pair.end()
+                if position < len(raw_labels):
+                    if raw_labels[position] != ",":
+                        raise ExpositionError(
+                            f"line {lineno}: expected ',' in labels of {line!r}"
+                        )
+                    position += 1
+        value = match.group("value")
+        if not _VALUE_RE.match(value):
+            raise ExpositionError(f"line {lineno}: bad value {value!r}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        target = family(base if base in families else name)
+        target["samples"].append((name, labels, float(value)))  # type: ignore[union-attr]
+    for name, meta in families.items():
+        if meta["type"] == "histogram":
+            sample_names = {s[0] for s in meta["samples"]}  # type: ignore[union-attr]
+            for required in (f"{name}_sum", f"{name}_count"):
+                if required not in sample_names:
+                    raise ExpositionError(
+                        f"histogram {name} missing {required}"
+                    )
+    return families

@@ -13,6 +13,7 @@ instants).
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -116,16 +117,41 @@ def follow_events(
     that does not exist yet (a job about to start) and lines written by
     another process mid-append (a torn tail line is held back until its
     newline arrives; the flush-per-record :class:`JsonlSink` makes that
-    window tiny).  Iteration ends when ``stop()`` returns true or, with
+    window tiny).  A log that is truncated or rotated mid-follow (the
+    file shrank below our offset, or its inode changed under the same
+    path) is reopened from the start — the replacement is a new log,
+    and tailing the stale offset would silently drop everything.
+    Iteration ends when ``stop()`` returns true or, with
     ``idle_timeout``, after that many seconds without a new record.
     """
     path = Path(path)
     handle = None
+
+    def reopen():
+        """Open the file and remember its identity; None when absent."""
+        try:
+            opened = path.open("r", encoding="utf-8")
+        except OSError:
+            return None, None
+        try:
+            inode = os.fstat(opened.fileno()).st_ino
+        except OSError:
+            inode = None
+        return opened, inode
+
+    def rotated(position: int) -> bool:
+        """Did the path stop being the file we hold at this offset?"""
+        try:
+            stat = path.stat()
+        except OSError:
+            return True  # unlinked: wait for the replacement
+        return stat.st_ino != inode or stat.st_size < position
+
     try:
         waited = 0.0
         while True:
-            if path.exists():
-                handle = path.open("r", encoding="utf-8")
+            handle, inode = reopen()
+            if handle is not None:
                 break
             if stop is not None and stop():
                 return
@@ -151,6 +177,18 @@ def follow_events(
                 continue
             # EOF (or a torn tail still being written): rewind and wait.
             handle.seek(position)
+            if rotated(position):
+                handle.close()
+                handle, inode = reopen()
+                while handle is None:
+                    if stop is not None and stop():
+                        return
+                    if idle_timeout is not None and idle >= idle_timeout:
+                        return
+                    time.sleep(poll_seconds)
+                    idle += poll_seconds
+                    handle, inode = reopen()
+                continue
             if stop is not None and stop():
                 return
             if idle_timeout is not None and idle >= idle_timeout:

@@ -401,6 +401,59 @@ class TestFollowEvents:
         ]
         assert seen == ["ok"]
 
+    def test_truncated_file_reopens_from_start(self, tmp_path):
+        import threading
+        from repro.telemetry import follow_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "event", "name": "old", "fields": {}}\n' * 3)
+        seen = []
+        resumed = threading.Event()
+
+        def tail():
+            for record in follow_events(path, poll_seconds=0.01, idle_timeout=2.0):
+                seen.append(record.get("name"))
+                if record.get("name") == "fresh":
+                    return
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        while len(seen) < 3 and thread.is_alive():
+            resumed.wait(0.01)
+        # Truncate to something *shorter* than the follower's offset.
+        path.write_text('{"kind": "event", "name": "fresh", "fields": {}}\n')
+        thread.join(timeout=10)
+        assert seen == ["old", "old", "old", "fresh"]
+
+    def test_rotated_file_reopens_from_start(self, tmp_path):
+        import os
+        import threading
+        from repro.telemetry import follow_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "event", "name": "old", "fields": {}}\n')
+        seen = []
+
+        def tail():
+            for record in follow_events(path, poll_seconds=0.01, idle_timeout=2.0):
+                seen.append(record.get("name"))
+                if record.get("name") == "rotated":
+                    return
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        while len(seen) < 1 and thread.is_alive():
+            threading.Event().wait(0.01)
+        # Replace the file wholesale (new inode, same length as before
+        # plus growth): only inode detection can catch this.
+        replacement = tmp_path / "events.jsonl.new"
+        replacement.write_text(
+            '{"kind": "event", "name": "rotated", "fields": {}}\n'
+        )
+        os.replace(replacement, path)
+        thread.join(timeout=10)
+        assert seen == ["old", "rotated"]
+
     def test_format_record_lines(self):
         from repro.telemetry import format_record
 
