@@ -394,8 +394,114 @@ def _collect_via_service(args: argparse.Namespace) -> int:
     return 0 if record.state == "done" else 1
 
 
+#: Exit code for "the job already finished" — distinct from generic
+#: usage errors (2) so scripts can branch on it, mirroring the API's 409.
+EXIT_ALREADY_FINISHED = 3
+
+
+def _remote_jobs(args: argparse.Namespace) -> int:
+    """``repro jobs ... --url``: drive a remote ``repro serve`` endpoint.
+
+    The submit/list/status/cancel/wait verbs work against the API with
+    the same output shapes as local mode; run/resume stay local-only —
+    execution belongs to the fleet behind the server, not this process.
+    """
+    from repro.service.api import ApiClient, ApiError
+
+    client = ApiClient(args.url, tenant=getattr(args, "tenant", None))
+    action = args.action
+    try:
+        if action == "submit":
+            kind = "collect" if getattr(args, "collect_only", False) else "tune"
+            doc = client.submit(
+                _request_from_args(args, kind),
+                priority=getattr(args, "priority", 0),
+            )
+            if doc.get("deduplicated"):
+                log.info("%s  (deduplicated: identical job already exists)",
+                         doc["job_id"])
+            else:
+                log.info("%s", doc["job_id"])
+            return 0
+        if action == "list":
+            docs = client.jobs()
+            if not docs:
+                log.info("(no jobs at %s)", args.url)
+                return 0
+            from repro.service import JobRecord
+
+            header = ("job", "kind", "program", "target", "state", "phase",
+                      "detail")
+            rows = [JobRecord.from_dict(d).summary_row() for d in docs]
+            widths = [
+                max(len(str(r[i])) for r in [header, *rows])
+                for i in range(len(header))
+            ]
+            for row in [header, *rows]:
+                log.info("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+            return 0
+        if action == "status":
+            doc = client.status(args.job_id)
+            log.info("job %s (%s)", doc["job_id"],
+                     doc.get("request", {}).get("program"))
+            log.info("  state: %s   phase: %s", doc.get("state"),
+                     doc.get("phase"))
+            log.info("  progress: %s",
+                     json.dumps(doc.get("progress_summary", {}), sort_keys=True))
+            if doc.get("result"):
+                for key in sorted(doc["result"]):
+                    log.info("  %s: %s", key, doc["result"][key])
+            return 0
+        if action == "cancel":
+            try:
+                doc = client.cancel(args.job_id)
+            except ApiError as exc:
+                if exc.status == 409:
+                    log.error("job %s already finished; result kept",
+                              args.job_id)
+                    return EXIT_ALREADY_FINISHED
+                raise
+            log.info("job %s: cancelled", doc["job_id"])
+            return 0
+        if action == "wait":
+            try:
+                doc = client.wait_result(
+                    args.job_id, timeout=getattr(args, "timeout", 600.0)
+                )
+            except TimeoutError as exc:
+                log.error("error: %s", exc)
+                return 1
+            log.info("job %s: done", doc["job_id"])
+            for key in sorted(doc.get("result") or {}):
+                log.info("  %s: %s", key, doc["result"][key])
+            return 0
+        log.error("error: jobs %s is local-only (needs --store, not --url)",
+                  action)
+        return 2
+    except ApiError as exc:
+        if exc.status == 429:
+            log.error("error: %s (retry after %ss)",
+                      exc.payload.get("error", "over quota"),
+                      exc.retry_after if exc.retry_after is not None else "?")
+        else:
+            log.error("error: %s", exc)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        log.error("error: cannot reach %s: %s", args.url, exc)
+        return 1
+
+
 def cmd_jobs(args: argparse.Namespace) -> int:
-    from repro.service import AdmissionError
+    from repro.service import AdmissionError, JobFinished
+
+    if getattr(args, "url", None):
+        if getattr(args, "store", None):
+            log.error("error: give --store or --url, not both")
+            return 2
+        return _remote_jobs(args)
+    if not getattr(args, "store", None):
+        log.error("error: give --store DIR (local) or --url URL (remote)")
+        return 2
 
     service = _build_service(args)
     action = args.action
@@ -474,11 +580,85 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         return 0 if record.state == "done" else 1
 
     if action == "cancel":
-        record = service.cancel(args.job_id)
+        try:
+            record = service.cancel(args.job_id)
+        except JobFinished:
+            log.error("job %s already finished; result kept", args.job_id)
+            return EXIT_ALREADY_FINISHED
         log.info("job %s: cancelled", record.job_id)
         return 0
 
+    if action == "wait":
+        import time as _time
+
+        deadline = _time.monotonic() + getattr(args, "timeout", 600.0)
+        while True:
+            service.store.refresh()
+            record = service.get(args.job_id)
+            if record.state not in ("queued", "running"):
+                break
+            if _time.monotonic() >= deadline:
+                log.error("error: %s still %s after %.0fs",
+                          args.job_id, record.state, args.timeout)
+                return 1
+            _time.sleep(0.5)
+        _report_job(record)
+        return 0 if record.state == "done" else 1
+
     raise ValueError(f"unknown jobs action {action!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the HTTP/JSON front door over one run store.
+
+    The server only *admits* — workers drain what it queues — so it
+    runs no engine at all.  Its telemetry (one ``api.request`` record
+    per handled request) streams to ``events/api-<id>.jsonl`` in the
+    store, where ``repro top`` and the Prometheus export pick it up
+    exactly like worker and job logs.
+    """
+    from repro.service import JobService
+    from repro.service.api import ApiServer, HttpLimits, QuotaManager
+    from repro.telemetry.events import Telemetry, install
+    from repro.telemetry.sinks import JsonlSink
+
+    service = JobService(
+        Path(args.store),
+        max_queued=getattr(args, "max_queued", 256) or 256,
+    )
+    quota = None
+    if getattr(args, "quota_rate", 50.0) > 0:
+        quota = QuotaManager(
+            rate=args.quota_rate, burst=getattr(args, "quota_burst", 200.0)
+        )
+    limits = HttpLimits(
+        max_body_bytes=getattr(args, "max_body", 1 << 20),
+        read_timeout=getattr(args, "read_timeout", 10.0),
+    )
+    server = ApiServer(
+        service,
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 8080),
+        quota=quota,
+        limits=limits,
+        server_id=getattr(args, "server_id", None),
+    )
+    log_path = service.store.root / "events" / f"{server.server_id}.jsonl"
+    sink = JsonlSink(log_path, append=True, live=True)
+    session = Telemetry([sink])
+    previous = install(session)
+    log.info(
+        "serving %s on http://%s:%s (quota %s/s burst %s, queue cap %d)",
+        args.store, server.host, server.port,
+        args.quota_rate if quota else "off",
+        getattr(args, "quota_burst", 200.0) if quota else "-",
+        service.max_queued,
+    )
+    try:
+        return server.run()
+    finally:
+        install(previous)
+        session.close()
 
 
 def cmd_worker(args: argparse.Namespace) -> int:

@@ -199,8 +199,17 @@ def build_parser() -> argparse.ArgumentParser:
     def _jobs_parser(name: str, help_text: str) -> argparse.ArgumentParser:
         sub_parser = jobs_sub.add_parser(name, help=help_text, parents=[verbosity])
         sub_parser.add_argument(
-            "--store", metavar="DIR", required=True,
-            help="run store directory",
+            "--store", metavar="DIR", default=None,
+            help="run store directory (local mode)",
+        )
+        sub_parser.add_argument(
+            "--url", metavar="URL", default=None,
+            help="talk to a remote `repro serve` endpoint instead of a "
+            "local store, e.g. http://tuner:8080",
+        )
+        sub_parser.add_argument(
+            "--tenant", metavar="NAME", default=None,
+            help="with --url: quota tenant sent as X-Repro-Tenant",
         )
         sub_parser.add_argument(
             "--no-cache", action="store_true",
@@ -249,6 +258,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     cancel = _jobs_parser("cancel", "cancel an unfinished job")
     cancel.add_argument("job_id")
+
+    wait = _jobs_parser("wait", "poll one job until it finishes")
+    wait.add_argument("job_id")
+    wait.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                      help="give up after SEC seconds (default: 600)")
+
+    # -- serve ---------------------------------------------------------------
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP/JSON API over a run store's job queue: remote clients "
+        "submit tuning requests, the worker fleet drains them",
+        parents=[verbosity],
+    )
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="run store directory (shared with the workers)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free one (default: 8080)")
+    serve.add_argument("--max-queued", type=int, default=256, metavar="N",
+                       help="active-job admission cap (default: 256)")
+    serve.add_argument("--quota-rate", type=float, default=50.0, metavar="R",
+                       help="per-tenant submissions/second refill rate "
+                       "(default: 50; 0 disables quotas)")
+    serve.add_argument("--quota-burst", type=float, default=200.0, metavar="B",
+                       help="per-tenant token-bucket burst size (default: 200)")
+    serve.add_argument("--max-body", type=int, default=1 << 20, metavar="BYTES",
+                       help="largest accepted request body (default: 1 MiB)")
+    serve.add_argument("--read-timeout", type=float, default=10.0,
+                       metavar="SEC",
+                       help="per-read slow-loris timeout (default: 10)")
+    serve.add_argument("--server-id", metavar="ID", default=None,
+                       help="identity used in telemetry and the event log "
+                       "(default: api-<random>)")
+    serve.set_defaults(handler=commands.cmd_serve)
 
     # -- worker --------------------------------------------------------------
     worker = sub.add_parser(

@@ -19,10 +19,15 @@ turns one-shot tuner invocations into durable *jobs*:
 * :mod:`repro.service.health` — per-worker heartbeat files
   (:class:`HeartbeatWriter`), heartbeat-accelerated dead-worker
   detection (:func:`dead_worker_check`), and the joined
-  :class:`FleetView` behind ``repro top``.
+  :class:`FleetView` behind ``repro top``;
+* :mod:`repro.service.api` — the HTTP/JSON front door
+  (:class:`~repro.service.api.ApiServer` behind ``repro serve``,
+  :class:`~repro.service.api.ApiClient` behind ``repro jobs --url``)
+  with request dedup and per-tenant quotas.
 
 The CLI front ends are ``repro jobs submit|list|status|run|resume|cancel``
-and the long-lived ``repro worker``.
+(local or ``--url`` remote), the long-lived ``repro worker``, and
+``repro serve``.
 """
 
 from repro.service.budget import BudgetedBackend, BudgetExceeded
@@ -50,6 +55,7 @@ from repro.service.jobs import (
     RUNNING,
     JobRecord,
     TuneRequest,
+    request_fingerprint,
 )
 from repro.service.lease import (
     Lease,
@@ -61,7 +67,7 @@ from repro.service.lease import (
     default_worker_id,
 )
 from repro.service.runner import JobRunner
-from repro.service.scheduler import AdmissionError, JobService
+from repro.service.scheduler import AdmissionError, JobFinished, JobService
 
 __all__ = [
     "ALIVE",
@@ -76,6 +82,7 @@ __all__ = [
     "FleetView",
     "Heartbeat",
     "HeartbeatWriter",
+    "JobFinished",
     "JobRecord",
     "JobRunner",
     "JobService",
@@ -97,4 +104,5 @@ __all__ = [
     "job_progress",
     "read_heartbeat",
     "read_heartbeats",
+    "request_fingerprint",
 ]

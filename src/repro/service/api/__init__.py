@@ -1,0 +1,29 @@
+"""The tuning-as-a-service HTTP front door.
+
+``repro serve`` binds :class:`ApiServer` — an asyncio HTTP/1.1 JSON
+server over one :class:`~repro.service.scheduler.JobService` — and the
+worker fleet drains what it admits.  See :mod:`repro.service.api.app`
+for the routes and the quota → dedup → admission submission path,
+:mod:`repro.service.api.http` for the hardened parsing layer, and
+:mod:`repro.service.api.client` for the typed urllib client the CLI's
+remote mode uses.  Stdlib only, like everything else in the repo.
+"""
+
+from repro.service.api.app import ApiServer, TENANT_HEADER, render_fleet_html
+from repro.service.api.client import ApiClient, ApiError
+from repro.service.api.http import HttpError, HttpLimits, HttpRequest
+from repro.service.api.quota import DEFAULT_TENANT, QuotaManager, TokenBucket
+
+__all__ = [
+    "ApiClient",
+    "ApiError",
+    "ApiServer",
+    "DEFAULT_TENANT",
+    "HttpError",
+    "HttpLimits",
+    "HttpRequest",
+    "QuotaManager",
+    "TENANT_HEADER",
+    "TokenBucket",
+    "render_fleet_html",
+]

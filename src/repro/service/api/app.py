@@ -1,0 +1,646 @@
+"""The tuning-as-a-service front door: HTTP/JSON over :class:`JobService`.
+
+``repro serve`` binds :class:`ApiServer` to a socket; everything behind
+the socket — durable queueing, leases, checkpoints, budgets, heartbeats
+— already exists in :mod:`repro.service`.  The server therefore *never
+runs jobs*: it admits requests into the shared store and lets the
+worker fleet (``repro worker`` processes on any host that sees the
+store) drain them, exactly like the CLI front ends do.
+
+Routes::
+
+    POST   /v1/jobs             submit a TuneRequest (+ optional priority)
+    GET    /v1/jobs             list job records
+    GET    /v1/jobs/{id}        record + checkpoint-phase progress
+    GET    /v1/jobs/{id}/result final result (202 while running, 409
+                                when failed/cancelled)
+    DELETE /v1/jobs/{id}        cancel at the next checkpoint (409 when
+                                already finished)
+    GET    /v1/fleet            dashboard snapshot JSON (?format=html
+                                renders the self-refreshing web view)
+    GET    /v1/health           liveness probe
+    GET    /metrics             Prometheus text exposition (API metrics
+                                + fleet gauges)
+
+Three request-shaping layers run in order on every submission:
+
+1. **quota** — the tenant's token bucket
+   (:class:`~repro.service.api.quota.QuotaManager`); empty → 429 with
+   ``Retry-After``;
+2. **dedup** — the request's
+   :func:`~repro.service.jobs.request_fingerprint` is matched against
+   every live (queued/running/done) job; a hit returns the *existing*
+   job with ``deduplicated: true`` instead of storing a second copy,
+   so N clients asking for the same tune share one job and one result;
+3. **admission** — :class:`JobService`'s active-job cap; full → 503
+   with ``Retry-After``.
+
+Dedup + submit run under one server-wide lock, which is what makes
+"exactly one stored job" hold under concurrent identical submissions.
+
+Every handler (and every parse failure) emits an ``api.request`` event
+and updates the ``api.request.seconds`` timer / ``api.requests``
+counter in the server's metrics registry, so ``repro top`` and the
+Prometheus export grow an API panel for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import html
+import json
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro import telemetry
+from repro.service.api.http import (
+    HttpError,
+    HttpLimits,
+    HttpRequest,
+    error_body,
+    read_request,
+    response_bytes,
+)
+from repro.service.api.quota import DEFAULT_TENANT, QuotaManager
+from repro.service.health import job_progress
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobRecord,
+    TuneRequest,
+    request_fingerprint,
+)
+from repro.service.scheduler import AdmissionError, JobFinished, JobService
+from repro.store import RunStore
+from repro.telemetry.export import (
+    prometheus_from_fleet,
+    prometheus_from_metrics,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["ApiServer", "TENANT_HEADER"]
+
+#: Header naming the quota tenant (absent → the anonymous bucket).
+TENANT_HEADER = "x-repro-tenant"
+
+#: States a dedup hit may be in: an identical earlier request that is
+#: queued, running, or already finished answers this one too.  Failed
+#: and cancelled jobs do NOT dedup — a resubmission deserves a fresh
+#: attempt rather than inheriting a corpse.
+DEDUP_STATES = ("queued", "running", DONE)
+
+
+class ApiServer:
+    """One asyncio HTTP front door over one run store."""
+
+    def __init__(
+        self,
+        store: Union[RunStore, str, Path, JobService],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quota: Optional[QuotaManager] = None,
+        limits: Optional[HttpLimits] = None,
+        registry: Optional[MetricsRegistry] = None,
+        max_queued: int = 256,
+        server_id: Optional[str] = None,
+    ):
+        if isinstance(store, JobService):
+            self.service = store
+        else:
+            self.service = JobService(store, max_queued=max_queued)
+        self.host = host
+        self.port = port  # rewritten with the bound port after start()
+        self.quota = quota
+        self.limits = limits if limits is not None else HttpLimits()
+        #: The server's own live registry: `/metrics` must work whether
+        #: or not process-global telemetry is enabled.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.server_id = server_id or f"api-{uuid.uuid4().hex[:8]}"
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._submit_lock: Optional[asyncio.Lock] = None
+        self._dashboard = None  # built lazily (imports the dashboard stack)
+        self.routes: List[Tuple[str, str, Callable]] = [
+            ("GET", "/v1/health", self._health),
+            ("GET", "/v1/jobs", self._jobs_list),
+            ("POST", "/v1/jobs", self._jobs_submit),
+            ("GET", "/v1/jobs/:id", self._jobs_status),
+            ("DELETE", "/v1/jobs/:id", self._jobs_cancel),
+            ("GET", "/v1/jobs/:id/result", self._jobs_result),
+            ("GET", "/v1/fleet", self._fleet),
+            ("GET", "/metrics", self._metrics),
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ApiServer":
+        """Bind and begin accepting; resolves once the port is known."""
+        self._submit_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=max(self.limits.max_request_line, 65536),
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        telemetry.event(
+            "api.started", server=self.server_id, host=self.host,
+            port=self.port, store=str(self.service.store.root),
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- background-thread hosting (tests, embedding) -------------------
+    def start_in_thread(self, timeout: float = 10.0) -> "ApiServer":
+        """Run the server on a dedicated event-loop thread.
+
+        Returns once the socket is bound (``self.port`` is real).  The
+        pattern the tests and any embedding process use; the CLI runs
+        :meth:`run` on the main thread instead.
+        """
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.aclose())
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name=f"repro-{self.server_id}", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("API server failed to start in time")
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop_in_thread(self, timeout: float = 10.0) -> None:
+        """Stop a :meth:`start_in_thread` server and join its thread."""
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop = None
+        self._thread = None
+
+    def run(self) -> int:
+        """Blocking foreground serve (the ``repro serve`` main loop)."""
+
+        async def _main() -> None:
+            await self.start()
+            await self.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        first = True
+        try:
+            while True:
+                started = time.perf_counter()
+                try:
+                    request = await read_request(reader, self.limits, first)
+                except HttpError as err:
+                    if not first and err.status == 408:
+                        # An idle keep-alive connection timing out is a
+                        # normal close, not an error worth answering.
+                        return
+                    self._observe(
+                        "(unparsed)", "-", err.status,
+                        time.perf_counter() - started, tenant=None,
+                    )
+                    body, ctype = error_body(err.status, err.message)
+                    writer.write(response_bytes(
+                        err.status, body, ctype,
+                        headers=err.headers, keep_alive=False,
+                    ))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return  # clean EOF
+                first = False
+                status, payload, headers, ctype, route = await self._dispatch(
+                    request
+                )
+                keep = request.keep_alive and status < 500
+                if isinstance(payload, (bytes, bytearray)):
+                    body = bytes(payload)
+                else:
+                    body = json.dumps(
+                        payload, sort_keys=True, default=str
+                    ).encode("utf-8")
+                self._observe(
+                    route, request.method, status,
+                    time.perf_counter() - started,
+                    tenant=request.headers.get(TENANT_HEADER),
+                    deduplicated=bool(
+                        isinstance(payload, dict)
+                        and payload.get("deduplicated")
+                    ),
+                )
+                writer.write(response_bytes(
+                    status, body, ctype, headers=headers, keep_alive=keep
+                ))
+                await writer.drain()
+                if not keep:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, object, Dict[str, str], str, str]:
+        """Route one request; returns (status, payload, headers, ctype,
+        route-label)."""
+        allowed: List[str] = []
+        for method, pattern, handler in self.routes:
+            params = _match(pattern, request.path)
+            if params is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            try:
+                result = await handler(request, **params)
+            except HttpError as err:
+                body, ctype = error_body(err.status, err.message)
+                return err.status, body, err.headers, ctype, pattern
+            except Exception as exc:  # noqa: BLE001 - the 500 boundary
+                body, ctype = error_body(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+                return 500, body, {}, ctype, pattern
+            status, payload = result[0], result[1]
+            headers = result[2] if len(result) > 2 else {}
+            ctype = result[3] if len(result) > 3 else "application/json"
+            return status, payload, headers, ctype, pattern
+        if allowed:
+            body, ctype = error_body(
+                405, f"{request.method} not allowed on {request.path}"
+            )
+            return 405, body, {"Allow": ", ".join(sorted(set(allowed)))}, \
+                ctype, request.path
+        body, ctype = error_body(404, f"no route for {request.path}")
+        return 404, body, {}, ctype, "(unrouted)"
+
+    def _observe(
+        self,
+        route: str,
+        method: str,
+        status: int,
+        seconds: float,
+        tenant: Optional[str],
+        deduplicated: bool = False,
+    ) -> None:
+        """File one request under both telemetry halves."""
+        labels = dict(route=route, method=method, status=status)
+        self.registry.counter(
+            "api.requests", "API requests by route/method/status"
+        ).labels(**labels).inc()
+        self.registry.timer(
+            "api.request.seconds", "API request latency"
+        ).labels(route=route, method=method).observe(seconds)
+        telemetry.event(
+            "api.request",
+            server=self.server_id,
+            route=route,
+            method=method,
+            status=status,
+            seconds=round(seconds, 6),
+            tenant=tenant or DEFAULT_TENANT,
+            deduplicated=deduplicated,
+        )
+
+    async def _in_executor(self, fn: Callable, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, fn, *args
+        )
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _health(self, request: HttpRequest):
+        return 200, {"status": "ok", "server": self.server_id,
+                     "store": str(self.service.store.root)}
+
+    async def _jobs_list(self, request: HttpRequest):
+        records = await self._in_executor(self._jobs_sync)
+        return 200, {"jobs": [self._record_doc(r) for r in records]}
+
+    async def _jobs_submit(self, request: HttpRequest):
+        tenant = request.headers.get(TENANT_HEADER, DEFAULT_TENANT)
+        if self.quota is not None:
+            retry_after = self.quota.try_acquire(tenant)
+            if retry_after > 0:
+                raise HttpError(
+                    429,
+                    f"tenant {tenant!r} is over its submission quota",
+                    headers={"Retry-After": f"{max(1, round(retry_after))}"},
+                    close=False,
+                )
+        doc = request.json()
+        if not isinstance(doc, dict):
+            raise HttpError(400, "request body must be a JSON object",
+                            close=False)
+        try:
+            priority = int(doc.pop("priority", 0))
+        except (TypeError, ValueError):
+            raise HttpError(400, "priority must be an integer", close=False)
+        try:
+            tune_request = TuneRequest.from_dict(doc)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid request: {exc}", close=False)
+
+        assert self._submit_lock is not None
+        async with self._submit_lock:
+            try:
+                record, deduplicated = await self._in_executor(
+                    self._submit_sync, tune_request, priority
+                )
+            except AdmissionError as exc:
+                raise HttpError(
+                    503, str(exc), headers={"Retry-After": "5"}, close=False
+                )
+        doc = self._record_doc(record)
+        doc["deduplicated"] = deduplicated
+        return (200 if deduplicated else 201), doc
+
+    async def _jobs_status(self, request: HttpRequest, id: str):
+        record = await self._in_executor(self._get_sync, id)
+        return 200, self._record_doc(record)
+
+    async def _jobs_result(self, request: HttpRequest, id: str):
+        record = await self._in_executor(self._get_sync, id)
+        if record.state == DONE:
+            return 200, {
+                "job_id": record.job_id,
+                "state": record.state,
+                "result": record.result or {},
+                "fingerprint": (record.result or {}).get("fingerprint"),
+            }
+        if record.state in (FAILED, CANCELLED):
+            raise HttpError(
+                409,
+                f"{record.job_id} is {record.state}"
+                + (f": {record.error}" if record.error else ""),
+                close=False,
+            )
+        return 202, {
+            "job_id": record.job_id,
+            "state": record.state,
+            "phase": record.phase,
+            "progress": job_progress(record),
+        }
+
+    async def _jobs_cancel(self, request: HttpRequest, id: str):
+        try:
+            record = await self._in_executor(self._cancel_sync, id)
+        except JobFinished as exc:
+            raise HttpError(409, f"already finished: {exc}", close=False)
+        return 200, self._record_doc(record)
+
+    async def _fleet(self, request: HttpRequest):
+        snapshot = await self._in_executor(self._fleet_snapshot_sync)
+        if request.query.get("format") == "html":
+            page = render_fleet_html(snapshot)
+            return 200, page.encode("utf-8"), {}, "text/html; charset=utf-8"
+        return 200, snapshot
+
+    async def _metrics(self, request: HttpRequest):
+        text = await self._in_executor(self._metrics_sync)
+        return (
+            200,
+            text.encode("utf-8"),
+            {},
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    # Blocking halves (run on the default executor)
+    # ------------------------------------------------------------------
+    def _jobs_sync(self) -> List[JobRecord]:
+        self.service.store.refresh()
+        return self.service.jobs()
+
+    def _get_sync(self, job_id: str) -> JobRecord:
+        self.service.store.refresh()
+        try:
+            return self.service.get(job_id)
+        except KeyError:
+            raise HttpError(404, f"no such job: {job_id}", close=False)
+
+    def _cancel_sync(self, job_id: str) -> JobRecord:
+        self.service.store.refresh()
+        try:
+            return self.service.cancel(job_id)
+        except JobFinished:
+            raise
+        except KeyError:
+            raise HttpError(404, f"no such job: {job_id}", close=False)
+
+    def _submit_sync(
+        self, tune_request: TuneRequest, priority: int
+    ) -> Tuple[JobRecord, bool]:
+        """Dedup-then-submit, serialized by the caller's lock."""
+        self.service.store.refresh()
+        fingerprint = request_fingerprint(tune_request)
+        for record in self.service.jobs():
+            if record.state not in DEDUP_STATES:
+                continue
+            if request_fingerprint(record.request) == fingerprint:
+                return record, True
+        return self.service.submit(tune_request, priority=priority), False
+
+    def _fleet_snapshot_sync(self) -> Dict[str, object]:
+        if self._dashboard is None:
+            from repro.telemetry.dashboard import FleetDashboard
+
+            self._dashboard = FleetDashboard(self.service.store)
+        return self._dashboard.snapshot()
+
+    def _metrics_sync(self) -> str:
+        return prometheus_from_metrics(
+            self.registry.snapshot()
+        ) + prometheus_from_fleet(self._fleet_snapshot_sync())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_doc(record: JobRecord) -> Dict[str, object]:
+        """A job record as the API's JSON shape (record + progress)."""
+        doc = record.to_dict()
+        doc["progress_summary"] = job_progress(record)
+        doc["request_fingerprint"] = request_fingerprint(record.request)
+        return doc
+
+
+def _match(pattern: str, path: str) -> Optional[Dict[str, str]]:
+    """Match ``/v1/jobs/:id``-style patterns; returns captured params."""
+    pattern_parts = pattern.strip("/").split("/")
+    path_parts = path.strip("/").split("/")
+    if len(pattern_parts) != len(path_parts):
+        return None
+    params: Dict[str, str] = {}
+    for expected, got in zip(pattern_parts, path_parts):
+        if expected.startswith(":"):
+            if not got:
+                return None
+            params[expected[1:]] = got
+        elif expected != got:
+            return None
+    return params
+
+
+# ----------------------------------------------------------------------
+# The web view: the fleet snapshot as one static self-refreshing page.
+# ----------------------------------------------------------------------
+def render_fleet_html(
+    snapshot: Dict[str, object], refresh_seconds: int = 2
+) -> str:
+    """Render a dashboard snapshot as a framework-free HTML page.
+
+    The page is static — no JavaScript, no assets — and re-requests
+    itself every ``refresh_seconds`` via ``<meta http-equiv="refresh">``,
+    which is all a glanceable fleet view needs and closes the "web view
+    on top of the same snapshot JSON" follow-up from the dashboard PR.
+    """
+
+    def esc(value: object) -> str:
+        return html.escape(str(value if value is not None else "-"))
+
+    summary = snapshot.get("summary", {}) or {}
+    api = snapshot.get("api", {}) or {}
+    engine = snapshot.get("engine", {}) or {}
+
+    job_rows = []
+    for job in snapshot.get("jobs", []) or []:
+        progress = job.get("progress", {}) or {}
+        fraction = float(progress.get("fraction", 0.0) or 0.0)
+        ga = job.get("ga", {}) or {}
+        job_rows.append(
+            "<tr>"
+            f"<td><code>{esc(job.get('job_id'))}</code></td>"
+            f"<td class='s-{esc(job.get('state'))}'>{esc(job.get('state'))}</td>"
+            f"<td>{esc(job.get('phase'))}</td>"
+            f"<td>{esc(job.get('program'))}</td>"
+            f"<td>{int(fraction * 100)}%</td>"
+            f"<td>{esc(ga.get('generation'))}</td>"
+            f"<td>{esc(job.get('holder') or job.get('worker'))}</td>"
+            "</tr>"
+        )
+    worker_rows = []
+    for worker in snapshot.get("workers", []) or []:
+        worker_rows.append(
+            "<tr>"
+            f"<td><code>{esc(worker.get('worker'))}</code></td>"
+            f"<td>{esc(worker.get('host'))}</td>"
+            f"<td class='s-{esc(worker.get('status'))}'>"
+            f"{esc(worker.get('status'))}</td>"
+            f"<td>{esc(worker.get('age'))}s</td>"
+            f"<td>{esc(worker.get('jobs_done'))}</td>"
+            "</tr>"
+        )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{int(refresh_seconds)}">
+<title>repro fleet — {esc(snapshot.get('store'))}</title>
+<style>
+body {{ font: 14px/1.4 system-ui, sans-serif; margin: 2em; color: #222; }}
+table {{ border-collapse: collapse; margin: 0.5em 0 1.5em; }}
+th, td {{ border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: left; }}
+th {{ background: #f3f3f3; }}
+.s-done {{ color: #1a7f37; }} .s-running {{ color: #0969da; }}
+.s-failed, .s-dead {{ color: #cf222e; }}
+.s-cancelled, .s-exited, .s-stale {{ color: #888; }}
+.s-alive {{ color: #1a7f37; }}
+.summary span {{ margin-right: 1.5em; }}
+</style>
+</head>
+<body>
+<h1>repro fleet</h1>
+<p class="summary">
+<span>store <code>{esc(snapshot.get('store'))}</code></span>
+<span>jobs {esc(summary.get('jobs_done'))}/{esc(summary.get('jobs_total'))}
+done</span>
+<span>{esc(summary.get('jobs_active'))} active</span>
+<span>{esc(summary.get('jobs_failed'))} failed</span>
+<span>workers {esc(summary.get('workers_alive'))} alive /
+{esc(summary.get('workers_stale'))} stale /
+{esc(summary.get('workers_dead'))} dead</span>
+</p>
+<h2>Jobs</h2>
+<table>
+<tr><th>job</th><th>state</th><th>phase</th><th>program</th>
+<th>progress</th><th>gen</th><th>holder</th></tr>
+{''.join(job_rows) or '<tr><td colspan="7">(no jobs)</td></tr>'}
+</table>
+<h2>Workers</h2>
+<table>
+<tr><th>worker</th><th>host</th><th>status</th><th>age</th><th>done</th></tr>
+{''.join(worker_rows) or '<tr><td colspan="5">(no heartbeats)</td></tr>'}
+</table>
+<h2>API</h2>
+<p>requests {esc(api.get('requests'))} · {esc(api.get('rate'))}/s ·
+errors {esc(api.get('errors'))} · deduplicated
+{esc(api.get('deduplicated'))} · p50 {esc(api.get('latency_p50'))}s ·
+p99 {esc(api.get('latency_p99'))}s</p>
+<h2>Engine</h2>
+<p>runs/sec {esc(engine.get('runs_per_sec'))} · cache hit
+{esc(engine.get('cache_hit_rate'))} · queue wait p50
+{esc(engine.get('queue_wait_p50'))}s / p99
+{esc(engine.get('queue_wait_p99'))}s</p>
+</body>
+</html>
+"""

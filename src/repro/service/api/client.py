@@ -1,0 +1,149 @@
+"""A thin typed client for the tuning API (urllib, stdlib only).
+
+The client mirrors the server's routes one method each and speaks the
+same JSON shapes; :class:`ApiError` carries the server's status code
+and decoded error payload so callers can branch on semantics (409 =
+already finished, 429 = over quota with ``retry_after`` populated)
+instead of string-matching messages.  Used by ``repro jobs --url ...``
+(the CLI's remote mode) and ``scripts/serve_loadtest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.service.jobs import TuneRequest
+
+__all__ = ["ApiClient", "ApiError"]
+
+
+class ApiError(Exception):
+    """A non-2xx API response, with its status and decoded payload."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: Optional[Dict[str, Any]] = None,
+        retry_after: Optional[float] = None,
+    ):
+        self.status = status
+        self.payload = dict(payload or {})
+        self.retry_after = retry_after
+        message = self.payload.get("error") or f"HTTP {status}"
+        super().__init__(f"{status}: {message}")
+
+
+class ApiClient:
+    """One tuning-API endpoint, e.g. ``ApiClient("http://host:8080")``."""
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                payload = resp.read()
+                self.last_status = resp.status
+        except urllib.error.HTTPError as err:
+            detail: Dict[str, Any] = {}
+            try:
+                detail = json.loads(err.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                pass
+            retry_after: Optional[float] = None
+            header = err.headers.get("Retry-After") if err.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ApiError(err.code, detail, retry_after=retry_after)
+        if raw:
+            return payload.decode("utf-8")
+        return json.loads(payload.decode("utf-8")) if payload else None
+
+    # -- jobs -----------------------------------------------------------
+    def submit(
+        self, request: TuneRequest, priority: int = 0
+    ) -> Dict[str, Any]:
+        """Submit one request; the returned record doc carries
+        ``deduplicated`` (true when an existing identical job answered)
+        and ``request_fingerprint``."""
+        doc = request.to_dict()
+        doc["priority"] = priority
+        return self._request("POST", "/v1/jobs", body=doc)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The result doc; :class:`ApiError` 202-free — a still-running
+        job returns its progress doc with ``state`` != ``done``."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait_result(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.5,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; raises on timeout or a job that
+        ends failed/cancelled (the server's 409 surfaces as ApiError)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.result(job_id)
+            if doc.get("state") == "done":
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {doc.get('state')} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    # -- fleet / ops ----------------------------------------------------
+    def fleet(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/fleet")
+
+    def fleet_html(self) -> str:
+        return self._request("GET", "/v1/fleet?format=html", raw=True)
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")

@@ -1,0 +1,107 @@
+"""Per-tenant token-bucket quotas for the API front door.
+
+The job service already has two admission layers — a cap on active jobs
+(:class:`~repro.service.scheduler.AdmissionError`) and per-job substrate
+budgets (:class:`~repro.service.budget.BudgetedBackend`).  Both protect
+the *fleet*; neither protects it from one noisy *client*.  The API adds
+the missing third layer: every submission spends one token from its
+tenant's bucket (keyed on the ``X-Repro-Tenant`` header), buckets refill
+at ``rate`` tokens/second up to ``burst``, and an empty bucket turns
+into a 429 with a ``Retry-After`` telling the client exactly when a
+token will exist again.
+
+The bucket is the standard lazy formulation: no timers, no background
+refill task — each acquire advances the token count by
+``elapsed * rate`` first.  Buckets for tenants never seen again are
+evicted least-recently-used past ``max_tenants``, so an attacker
+minting tenant names cannot grow the table without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["DEFAULT_TENANT", "QuotaManager", "TokenBucket"]
+
+#: Tenant assumed when a request carries no ``X-Repro-Tenant`` header.
+DEFAULT_TENANT = "anonymous"
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> float:
+        """Spend ``cost`` tokens; returns 0.0 on success, else the
+        seconds until enough tokens will have refilled (Retry-After)."""
+        if now > self.updated:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated) * self.rate
+            )
+        self.updated = max(self.updated, now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+
+class QuotaManager:
+    """Token buckets per tenant, LRU-bounded, thread-safe."""
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 200.0,
+        max_tenants: int = 10000,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_tenants = int(max_tenants)
+        self.clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: Optional[str], cost: float = 1.0) -> float:
+        """Charge one submission to ``tenant``.
+
+        Returns 0.0 when admitted, otherwise the seconds the tenant
+        should wait before retrying (the 429's ``Retry-After``).
+        """
+        tenant = tenant or DEFAULT_TENANT
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[tenant] = bucket
+            self._buckets.move_to_end(tenant)
+            while len(self._buckets) > self.max_tenants:
+                self._buckets.popitem(last=False)
+            return bucket.try_acquire(now, cost)
+
+    def tokens(self, tenant: Optional[str]) -> float:
+        """The tenant's current token balance (monitoring sugar)."""
+        tenant = tenant or DEFAULT_TENANT
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                return self.burst
+            # Peek without spending: refill, charge nothing.
+            bucket.try_acquire(now, cost=0.0)
+            return bucket.tokens

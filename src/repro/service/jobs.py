@@ -19,6 +19,8 @@ not the label the dying process never got to update.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 import uuid
 from dataclasses import asdict, dataclass, field, replace
@@ -83,6 +85,25 @@ class TuneRequest:
             and self.learning_rate == other.learning_rate
             and self.seed == other.seed
         )
+
+
+def request_fingerprint(request: TuneRequest) -> str:
+    """Digest identifying one request's *content* (the dedup key).
+
+    The whole pipeline downstream of a request is deterministic in the
+    request's fields (seeded collection, seeded GA, fencing-guarded
+    checkpoints), so two requests with equal fingerprints produce
+    reports with equal :func:`~repro.store.report_fingerprint`\\ s —
+    which is what lets the API collapse N identical submissions into
+    one stored job and still hand every caller the result it asked
+    for.  Every field participates, including ``budget`` and
+    ``warm_from``: "identical" means identical, not "probably the same
+    answer".  Priority is *not* a request field — the first
+    submission's priority wins for the shared job.
+    """
+    doc = {k: repr(v) for k, v in sorted(request.to_dict().items())}
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
 
 
 @dataclass

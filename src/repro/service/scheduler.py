@@ -58,6 +58,17 @@ class AdmissionError(RuntimeError):
     """The queue is full; the job was not admitted."""
 
 
+class JobFinished(ValueError):
+    """The job already ran to completion; the operation cannot apply.
+
+    Raised by :meth:`JobService.cancel` on a DONE job so callers can
+    distinguish "nothing left to cancel" (CLI: its own message and exit
+    code; API: HTTP 409) from genuinely bad input.  Subclasses
+    :class:`ValueError` so pre-existing ``except ValueError`` callers
+    keep working.
+    """
+
+
 class JobService:
     """Submit, schedule, resume and cancel tuning jobs on one store."""
 
@@ -339,11 +350,16 @@ class JobService:
 
         A worker mid-run on the job notices at its next checkpoint —
         the fencing guard refuses to commit over a cancelled record —
-        and abandons it.
+        and abandons it.  Cancelling an already-cancelled job is an
+        idempotent no-op; cancelling a DONE job raises
+        :class:`JobFinished` (there is nothing left to stop, and the
+        result must not be retracted).
         """
         record = self.get(job_id)
         if record.state == DONE:
-            raise ValueError(f"{job_id} already finished")
+            raise JobFinished(f"{job_id} already finished")
+        if record.state == CANCELLED:
+            return record
         record.state = CANCELLED
         record.touch()
         self.store.save_job(record.job_id, record.to_dict())

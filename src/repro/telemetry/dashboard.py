@@ -109,6 +109,7 @@ class FleetDashboard:
         for job in snap["jobs"]:  # type: ignore[union-attr]
             job["ga"] = self._ga_panel(str(job["job_id"]))
         snap["engine"] = self._engine_panel()
+        snap["api"] = self._api_panel()
         snap["events"] = {
             "records": self.rollup.total,
             "logs": len(self.aggregator.logs),
@@ -128,6 +129,25 @@ class FleetDashboard:
             "generation": int(generation) if generation is not None else None,
             "best": best,
             "history": history[-self.ga_history:],
+        }
+
+    def _api_panel(self) -> Dict[str, object]:
+        """Front-door health from ``api.request`` events.
+
+        The API server logs one record per handled request (route,
+        status, latency, dedup flag); counting errors and dedup hits
+        here — over the merged event stream — means the panel is right
+        even with several ``repro serve`` processes on one store.
+        """
+        statuses = self.rollup.values("api.request", "status")
+        dedup = self.rollup.values("api.request", "deduplicated")
+        return {
+            "requests": self.rollup.count("api.request"),
+            "rate": round(self.rollup.rate("api.request"), 3),
+            "errors": len([1 for _, status in statuses if status >= 400]),
+            "deduplicated": len([1 for _, flag in dedup if flag]),
+            "latency_p50": self.rollup.quantile("api.request", "seconds", 0.5),
+            "latency_p99": self.rollup.quantile("api.request", "seconds", 0.99),
         }
 
     def _engine_panel(self) -> Dict[str, object]:
@@ -271,6 +291,17 @@ def render_snapshot(snap: Dict[str, object], color: bool = True) -> str:
         f"p99 {_fmt_opt(engine.get('queue_wait_p99'))}s   "
         f"run wall p50 {_fmt_opt(engine.get('wall_p50'))}s   "
         f"requests {engine.get('requests', 0)}"
+    )
+    api = snap.get("api", {})
+    lines.append("")
+    lines.append(f"{bold}API{reset}")
+    lines.append(
+        f"  requests {api.get('requests', 0)}   "
+        f"req/sec {_fmt_opt(api.get('rate'))}   "
+        f"errors {api.get('errors', 0)}   "
+        f"dedup {api.get('deduplicated', 0)}   "
+        f"latency p50 {_fmt_opt(api.get('latency_p50'))}s "
+        f"p99 {_fmt_opt(api.get('latency_p99'))}s"
     )
     return "\n".join(lines)
 

@@ -241,6 +241,20 @@ def prometheus_from_fleet(
     gauge("engine_requests", "substrate requests observed in window", {},
           engine.get("requests"))
 
+    api = snapshot.get("api", {}) or {}
+    gauge("api_requests", "API requests observed in the event stream", {},
+          api.get("requests"))
+    gauge("api_requests_per_second", "API request rate", {},
+          api.get("rate"))
+    gauge("api_errors", "API responses with status >= 400", {},
+          api.get("errors"))
+    gauge("api_deduplicated", "submissions answered by an existing job", {},
+          api.get("deduplicated"))
+    gauge("api_latency_seconds", "API request latency", {"quantile": "0.5"},
+          api.get("latency_p50"))
+    gauge("api_latency_seconds", "API request latency", {"quantile": "0.99"},
+          api.get("latency_p99"))
+
     events = snapshot.get("events", {}) or {}
     gauge("event_records", "event-log records aggregated", {},
           events.get("records"))

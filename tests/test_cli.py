@@ -135,9 +135,14 @@ class TestJobsCommand:
 
     FAST = ["--train", "30", "--trees", "10", "--generations", "2", "--seed", "1"]
 
-    def test_parser_requires_store(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["jobs", "submit", "TS", "--size", "10"])
+    def test_requires_store_or_url(self):
+        # --store moved out of the parser's required set when --url
+        # (remote mode) arrived; the command itself enforces exactly one.
+        assert main(["jobs", "submit", "TS", "--size", "10"]) == 2
+        assert main(
+            ["jobs", "submit", "TS", "--size", "10",
+             "--store", "s", "--url", "http://localhost:1"]
+        ) == 2
 
     def test_submit_list_status_cancel(self, capsys, tmp_path):
         store = str(tmp_path / "store")
