@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Enforce per-package coverage floors on a coverage.py JSON report.
+
+Usage:
+
+    python scripts/coverage_gate.py coverage.json \
+        --floor repro/sparksim=60 --floor repro/service=60
+
+Aggregates line coverage per package prefix (paths are normalized so
+``src/repro/...`` and ``repro/...`` both match), prints a table of every
+package it saw, and exits 1 if any ``--floor`` package falls short or is
+missing from the report entirely.  Packages without a floor are
+report-only.  Only the standard library is used, so the gate runs
+anywhere the report exists — locally or in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def parse_floor(text: str):
+    name, _, value = text.partition("=")
+    if not name or not value:
+        raise argparse.ArgumentTypeError(
+            f"expected PACKAGE=PERCENT, got {text!r}"
+        )
+    return name.strip("/"), float(value)
+
+
+def normalize(path: str) -> str:
+    parts = Path(path).as_posix().split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    return "/".join(parts)
+
+
+def package_of(path: str, depth: int = 2) -> str:
+    return "/".join(normalize(path).split("/")[:depth])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="coverage.py JSON report (coverage.json)")
+    parser.add_argument(
+        "--floor",
+        action="append",
+        type=parse_floor,
+        default=[],
+        metavar="PACKAGE=PERCENT",
+        help="minimum aggregate line coverage for one package prefix",
+    )
+    args = parser.parse_args(argv)
+
+    doc = json.loads(Path(args.report).read_text())
+    covered = defaultdict(int)
+    statements = defaultdict(int)
+    for path, entry in doc["files"].items():
+        summary = entry["summary"]
+        package = package_of(path)
+        covered[package] += summary["covered_lines"]
+        statements[package] += summary["num_statements"]
+
+    floors = dict(args.floor)
+    failures = []
+    width = max((len(p) for p in statements), default=10)
+    for package in sorted(statements):
+        total = statements[package]
+        percent = 100.0 * covered[package] / total if total else 100.0
+        floor = floors.pop(package, None)
+        if floor is None:
+            verdict = "report-only"
+        elif percent >= floor:
+            verdict = f"ok (floor {floor:.0f}%)"
+        else:
+            verdict = f"FAIL (floor {floor:.0f}%)"
+            failures.append(f"{package}: {percent:.1f}% < {floor:.0f}%")
+        print(
+            f"{package:<{width}}  {percent:6.1f}%  "
+            f"({covered[package]}/{total} lines)  {verdict}"
+        )
+
+    for package, floor in sorted(floors.items()):
+        failures.append(f"{package}: absent from report (floor {floor:.0f}%)")
+
+    if failures:
+        print("\ncoverage gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,6 +106,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         fig12_speedup,
         fig13_kmeans_stages,
         fig14_terasort_stage2,
+        interference_tuning,
         table3_overhead,
     )
 
@@ -124,6 +125,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "ablation-datasize": lambda s: ablation_datasize.run(s).render(),
         "ablation-search": lambda s: ablation_search.run(s).render(),
         "ablation-hm-order": lambda s: ablation_hm_order.run(s).render(),
+        "interference": lambda s: interference_tuning.run(s).render(),
     }
 
 
@@ -282,6 +284,95 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         log.info("%s", rendered)
         log.info("%s", shared_engine().stats.summary())
     return 0
+
+
+def _resolve_trace_spec(name_or_path: str):
+    """``--trace``: a built-in name, or a TraceSpec JSON file path."""
+    from repro.sparksim.arrivals import load_trace_spec
+    from repro.sparksim.scenario import BUILTIN_TRACES, builtin_trace
+
+    if name_or_path in BUILTIN_TRACES:
+        return builtin_trace(name_or_path)
+    path = Path(name_or_path)
+    if path.exists():
+        return load_trace_spec(path)
+    raise KeyError(
+        f"unknown trace {name_or_path!r}: not a built-in "
+        f"({', '.join(BUILTIN_TRACES)}) and no such file"
+    )
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """``repro scenario``: shared-cluster multi-job simulation."""
+    from repro.sparksim import scenario as scen
+
+    action = args.action
+
+    if action == "list":
+        for name in scen.BUILTIN_TRACES:
+            spec = scen.builtin_trace(name)
+            adversity = []
+            if spec.straggler_probability > 0:
+                adversity.append("stragglers")
+            if spec.revocation_rate_per_min > 0:
+                adversity.append("revocations")
+            if spec.node_speed_factors:
+                adversity.append("hetero-nodes")
+            log.info(
+                "%-8s %2d jobs, %s, %d slots, %.0f/min%s",
+                name, spec.n_jobs, spec.policy,
+                spec.executor_slots or PAPER_CLUSTER.total_cores,
+                spec.arrival_rate_per_min,
+                f" ({', '.join(adversity)})" if adversity else "",
+            )
+        return 0
+
+    if action == "run":
+        spec = _resolve_trace_spec(args.spec)
+        with telemetry_session(args):
+            with build_backend(args) as engine:
+                report = scen.ScenarioRunner(engine=engine).run(
+                    spec, seed=args.seed
+                )
+        log.info("%s", scen.render_scenario_report(report))
+        log.info("fingerprint: %s", scen.scenario_fingerprint(report))
+        if getattr(args, "out", None):
+            Path(args.out).write_text(
+                json.dumps(scen.report_to_dict(report), indent=2, sort_keys=True)
+            )
+            log.info("wrote %s", args.out)
+        return 0
+
+    doc = json.loads(Path(args.report).read_text())
+    saved = scen.report_from_dict(doc)
+
+    if action == "report":
+        log.info("%s", scen.render_scenario_report(saved))
+        log.info("fingerprint: %s", scen.scenario_fingerprint(saved))
+        return 0
+
+    if action == "replay":
+        with build_backend(args) as engine:
+            rerun = scen.ScenarioRunner(engine=engine).run(
+                saved.spec, seed=saved.seed
+            )
+        # Digest the saved *content*, never the stored fingerprint field:
+        # a tampered job row must not hide behind a stale-but-original
+        # fingerprint string.
+        content = scen.scenario_fingerprint(saved)
+        stored = str(doc.get("fingerprint", content))
+        actual = scen.scenario_fingerprint(rerun)
+        if actual == content == stored:
+            log.info("replay OK: %s", actual)
+            return 0
+        log.error(
+            "replay MISMATCH:\n  saved content %s\n  saved claim   %s"
+            "\n  replay        %s",
+            content, stored, actual,
+        )
+        return 1
+
+    raise ValueError(f"unknown scenario action {action!r}")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:

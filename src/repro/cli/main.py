@@ -170,6 +170,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(experiment)
     experiment.set_defaults(handler=commands.cmd_experiment)
 
+    # -- scenario ------------------------------------------------------------
+    scenario = sub.add_parser(
+        "scenario",
+        help="shared-cluster multi-job simulation: Poisson arrivals, "
+        "FIFO/fair executor allocation, stragglers, spot revocations",
+        parents=[verbosity],
+    )
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="run a trace spec and print the per-job report + fingerprint",
+        parents=[verbosity],
+    )
+    scenario_run.add_argument(
+        "spec", nargs="?", default="smoke", metavar="TRACE",
+        help="built-in trace name or a TraceSpec JSON file (default: smoke)",
+    )
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument(
+        "--out", metavar="PATH",
+        help="also write the full report (spec + seed + outcomes) as JSON",
+    )
+    _add_engine_flags(scenario_run)
+    _add_telemetry_flags(scenario_run)
+    scenario_run.set_defaults(handler=commands.cmd_scenario, action="run")
+
+    scenario_replay = scenario_sub.add_parser(
+        "replay",
+        help="re-run a saved report's (spec, seed) and verify the "
+        "fingerprint matches bit-identically",
+        parents=[verbosity],
+    )
+    scenario_replay.add_argument("report", help="report JSON written by run --out")
+    _add_engine_flags(scenario_replay)
+    scenario_replay.set_defaults(handler=commands.cmd_scenario, action="replay")
+
+    scenario_report = scenario_sub.add_parser(
+        "report",
+        help="render a saved report JSON without re-running it",
+        parents=[verbosity],
+    )
+    scenario_report.add_argument("report", help="report JSON written by run --out")
+    scenario_report.set_defaults(handler=commands.cmd_scenario, action="report")
+
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list the built-in traces", parents=[verbosity]
+    )
+    scenario_list.set_defaults(handler=commands.cmd_scenario, action="list")
+
     # -- trace ---------------------------------------------------------------
     trace = sub.add_parser(
         "trace",

@@ -110,6 +110,41 @@ class DacTuner:
         merged = {**FAST_SCALE, **kwargs}
         return cls(workload, **merged)
 
+    @classmethod
+    def under_interference(
+        cls,
+        workload: Workload,
+        background,
+        scenario_seed: int = 0,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        engine: Optional[ExecutionBackend] = None,
+        target_arrival_s: float = 0.0,
+        **kwargs,
+    ) -> "DacTuner":
+        """Tuner whose measurements are shared-cluster completion times.
+
+        ``background`` is a :class:`~repro.sparksim.arrivals.TraceSpec`
+        (or a built-in trace name); every substrate run is injected into
+        that scenario via
+        :class:`~repro.sparksim.scenario.InterferenceBackend`, so the
+        collected times — and therefore the model and the GA's optimum —
+        include queueing delay and executor contention.  The rest of the
+        pipeline is unchanged: the same collect/fit/tune calls apply.
+        """
+        from repro.engine import InProcessBackend
+        from repro.sparksim.scenario import InterferenceBackend, builtin_trace
+
+        spec = builtin_trace(background) if isinstance(background, str) else background
+        base = engine if engine is not None else InProcessBackend(cluster)
+        wrapped = InterferenceBackend(
+            base,
+            spec,
+            seed=scenario_seed,
+            cluster=cluster,
+            target_arrival_s=target_arrival_s,
+        )
+        return cls(workload, cluster=cluster, engine=wrapped, **kwargs)
+
     # ------------------------------------------------------------------
     def collect(self, n_train: Optional[int] = None) -> TrainingSet:
         """Run the collecting component (idempotent unless re-called)."""

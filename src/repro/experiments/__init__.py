@@ -21,6 +21,10 @@ fig13     KMeans per-stage and GC analysis
 fig14     TeraSort Stage2 and GC analysis
 table3    overhead: collecting / modeling / searching costs
 ========  ==========================================================
+
+Beyond the paper, ``interference_tuning`` (CLI name ``interference``)
+compares idle-tuned vs. interference-tuned configurations on a shared
+cluster (:mod:`repro.sparksim.scenario`).
 """
 
 from repro.experiments.common import FAST, PAPER, Scale

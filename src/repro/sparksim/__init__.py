@@ -16,9 +16,23 @@ Main entry points:
 * :class:`~repro.sparksim.simulator.SparkSimulator` — runs a
   :class:`~repro.sparksim.dag.JobSpec` under a configuration and returns a
   :class:`~repro.sparksim.simulator.RunResult` with total and per-stage
-  times, GC time, spill volume, and retry counts.
+  times, GC time, spill volume, and retry counts;
+* :class:`~repro.sparksim.arrivals.TraceSpec` /
+  :mod:`repro.sparksim.scenario` — shared-cluster scenarios: N jobs with
+  Poisson arrivals contending for one executor pool (FIFO/fair
+  allocation, heterogeneous nodes, stragglers, spot revocations), all
+  replayable bit-identically from a ``(spec, seed)`` pair.
+  ``scenario`` is imported lazily (it pulls in the engine); arrival
+  types are re-exported here.
 """
 
+from repro.sparksim.arrivals import (
+    JobTemplate,
+    Revocation,
+    Trace,
+    TraceSpec,
+    generate_trace,
+)
 from repro.sparksim.cluster import ClusterSpec
 from repro.sparksim.config import SparkConf
 from repro.sparksim.confspace import SPARK_CONF_SPACE, spark_configuration_space
@@ -28,11 +42,16 @@ from repro.sparksim.simulator import RunResult, SparkSimulator, StageResult
 __all__ = [
     "ClusterSpec",
     "JobSpec",
+    "JobTemplate",
+    "Revocation",
     "RunResult",
     "SPARK_CONF_SPACE",
     "SparkConf",
     "SparkSimulator",
     "StageResult",
     "StageSpec",
+    "Trace",
+    "TraceSpec",
+    "generate_trace",
     "spark_configuration_space",
 ]

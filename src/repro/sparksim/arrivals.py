@@ -1,0 +1,345 @@
+"""Job arrival traces for shared-cluster scenarios.
+
+A :class:`TraceSpec` declares a multi-job workload — which programs
+arrive, at what Poisson rate, under which allocation policy, and what
+adversities the cluster throws at them (heterogeneous node speeds,
+stragglers, spot-node revocations).  :func:`generate_trace` expands a
+``(spec, seed)`` pair into a concrete :class:`Trace` with *every*
+stochastic draw made up front via :func:`repro.common.rng.derive_rng`:
+inter-arrival gaps, template choices, random configurations, straggler
+assignments and revocation times are all functions of the spec content
+and the seed.  The scenario event loop downstream
+(:mod:`repro.sparksim.scenario`) is pure, so one pair replays
+bit-identically across processes and backends.
+
+Per-job draws use a generator keyed by ``(spec, seed, job index)``
+rather than one shared stream, so a draw made conditionally for one job
+(e.g. a random configuration) can never shift another job's draws.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.common.rng import derive_rng
+from repro.common.space import Configuration, ConfigurationSpace
+from repro.sparksim.confspace import SPARK_CONF_SPACE
+
+#: Allocation policies the scenario scheduler understands.
+FIFO = "fifo"
+FAIR = "fair"
+POLICIES = (FIFO, FAIR)
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One kind of job a trace draws from.
+
+    ``overrides`` pins configuration parameters (a sorted tuple of
+    ``(name, value)`` pairs so templates stay hashable); with
+    ``random_config`` the rest of the configuration is sampled from the
+    space per arrival — the shape background traffic has in practice,
+    where co-tenants run whatever they run.
+    """
+
+    program: str
+    size: float
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    random_config: bool = False
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"{self.program}: size must be positive")
+        if self.weight <= 0:
+            raise ValueError(f"{self.program}: weight must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "size": self.size,
+            "overrides": [[name, value] for name, value in self.overrides],
+            "random_config": self.random_config,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "JobTemplate":
+        return cls(
+            program=str(doc["program"]),
+            size=float(doc["size"]),
+            overrides=tuple(
+                (str(name), value) for name, value in doc.get("overrides", [])
+            ),
+            random_config=bool(doc.get("random_config", False)),
+            weight=float(doc.get("weight", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative description of one shared-cluster scenario.
+
+    Attributes
+    ----------
+    templates:
+        Job kinds, drawn per arrival with probability proportional to
+        ``weight``.
+    n_jobs:
+        How many jobs arrive in total.
+    arrival_rate_per_min:
+        Poisson arrival rate; ``0`` makes every job arrive at t=0 (a
+        pure contention burst).
+    policy:
+        ``"fifo"`` (head-of-line queueing: a job waits until its whole
+        capped demand fits) or ``"fair"`` (integer max-min sharing).
+    executor_slots:
+        Pool size; ``None`` uses the cluster's total core count.
+    node_speed_factors:
+        Relative speed of each node; slots divide into equal contiguous
+        blocks, one per factor.  Empty means homogeneous (1.0).
+    straggler_probability / straggler_factor:
+        Each arrival independently becomes a straggler (its work runs
+        ``straggler_factor`` times slower) with this probability.
+    revocation_rate_per_min:
+        Poisson rate of spot-node revocation events over
+        ``[0, revocation_horizon_s)``; each removes
+        ``ceil(revocation_fraction * slots)`` slots for
+        ``revocation_duration_s`` and charges affected jobs
+        ``revocation_rework`` of the work they had completed on the
+        lost share.
+    interference_coefficient:
+        Strength of the I/O-contention penalty between co-running jobs
+        (0 disables it).
+    """
+
+    name: str
+    templates: Tuple[JobTemplate, ...]
+    n_jobs: int
+    arrival_rate_per_min: float = 2.0
+    policy: str = FIFO
+    executor_slots: Optional[int] = None
+    node_speed_factors: Tuple[float, ...] = ()
+    straggler_probability: float = 0.0
+    straggler_factor: float = 1.6
+    revocation_rate_per_min: float = 0.0
+    revocation_fraction: float = 0.2
+    revocation_duration_s: float = 180.0
+    revocation_rework: float = 0.5
+    revocation_horizon_s: float = 3600.0
+    interference_coefficient: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError("trace needs at least one job template")
+        if self.n_jobs < 1:
+            raise ValueError("trace needs at least one job")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; pick from {POLICIES}")
+        if self.executor_slots is not None and self.executor_slots < 1:
+            raise ValueError("executor_slots must be positive")
+        if any(f <= 0 for f in self.node_speed_factors):
+            raise ValueError("node speed factors must be positive")
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise ValueError("straggler_probability must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if not 0.0 < self.revocation_fraction <= 1.0:
+            raise ValueError("revocation_fraction must be in (0, 1]")
+        if self.revocation_rework < 0.0:
+            raise ValueError("revocation_rework must be >= 0")
+        if self.interference_coefficient < 0.0:
+            raise ValueError("interference_coefficient must be >= 0")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "templates": [t.to_dict() for t in self.templates],
+            "n_jobs": self.n_jobs,
+            "arrival_rate_per_min": self.arrival_rate_per_min,
+            "policy": self.policy,
+            "executor_slots": self.executor_slots,
+            "node_speed_factors": list(self.node_speed_factors),
+            "straggler_probability": self.straggler_probability,
+            "straggler_factor": self.straggler_factor,
+            "revocation_rate_per_min": self.revocation_rate_per_min,
+            "revocation_fraction": self.revocation_fraction,
+            "revocation_duration_s": self.revocation_duration_s,
+            "revocation_rework": self.revocation_rework,
+            "revocation_horizon_s": self.revocation_horizon_s,
+            "interference_coefficient": self.interference_coefficient,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "TraceSpec":
+        slots = doc.get("executor_slots")
+        return cls(
+            name=str(doc["name"]),
+            templates=tuple(JobTemplate.from_dict(t) for t in doc["templates"]),
+            n_jobs=int(doc["n_jobs"]),
+            arrival_rate_per_min=float(doc.get("arrival_rate_per_min", 2.0)),
+            policy=str(doc.get("policy", FIFO)),
+            executor_slots=None if slots is None else int(slots),
+            node_speed_factors=tuple(
+                float(f) for f in doc.get("node_speed_factors", [])
+            ),
+            straggler_probability=float(doc.get("straggler_probability", 0.0)),
+            straggler_factor=float(doc.get("straggler_factor", 1.6)),
+            revocation_rate_per_min=float(doc.get("revocation_rate_per_min", 0.0)),
+            revocation_fraction=float(doc.get("revocation_fraction", 0.2)),
+            revocation_duration_s=float(doc.get("revocation_duration_s", 180.0)),
+            revocation_rework=float(doc.get("revocation_rework", 0.5)),
+            revocation_horizon_s=float(doc.get("revocation_horizon_s", 3600.0)),
+            interference_coefficient=float(
+                doc.get("interference_coefficient", 0.35)
+            ),
+        )
+
+    def spec_key(self) -> str:
+        """Canonical string identity of this spec (seeds RNG derivation
+        and backend cache signatures: equal keys mean equal scenarios)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def load_trace_spec(path: Union[str, Path]) -> TraceSpec:
+    """Read a :class:`TraceSpec` from a JSON file written by ``to_dict``."""
+    return TraceSpec.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Concrete traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobArrival:
+    """One job instance of a trace, fully determined at generation time."""
+
+    index: int
+    job_id: str
+    program: str
+    size: float
+    arrival_s: float
+    config: Configuration
+    straggler_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class Revocation:
+    """A spot-node event: ``slots`` executors vanish for ``duration_s``."""
+
+    at_s: float
+    slots: int
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.at_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A fully expanded ``(spec, seed)`` pair — the event loop's input."""
+
+    spec: TraceSpec
+    seed: int
+    arrivals: Tuple[JobArrival, ...]
+    revocations: Tuple[Revocation, ...]
+
+
+def _pick_template(
+    templates: Tuple[JobTemplate, ...], draw: float
+) -> JobTemplate:
+    """Weighted choice driven by one uniform draw in [0, 1)."""
+    total = sum(t.weight for t in templates)
+    acc = 0.0
+    for template in templates:
+        acc += template.weight / total
+        if draw < acc:
+            return template
+    return templates[-1]
+
+
+def generate_trace(
+    spec: TraceSpec,
+    seed: int = 0,
+    space: ConfigurationSpace = SPARK_CONF_SPACE,
+) -> Trace:
+    """Expand a spec into concrete arrivals and revocations.
+
+    All randomness happens here, from generators keyed by
+    ``(spec content, seed)`` — the downstream simulation is pure.
+    """
+    key = spec.spec_key()
+
+    arrival_rng = derive_rng("scenario.arrivals", key, seed)
+    arrivals = []
+    t = 0.0
+    for index in range(spec.n_jobs):
+        if spec.arrival_rate_per_min > 0:
+            t += float(arrival_rng.exponential(60.0 / spec.arrival_rate_per_min))
+        job_rng = derive_rng("scenario.job", key, seed, index)
+        template = _pick_template(spec.templates, float(job_rng.random()))
+        if template.random_config:
+            config = space.random(job_rng)
+            if template.overrides:
+                config = config.replacing_values(dict(template.overrides))
+        else:
+            config = space.from_dict(dict(template.overrides))
+        straggler = 1.0
+        if spec.straggler_probability > 0:
+            if float(job_rng.random()) < spec.straggler_probability:
+                straggler = spec.straggler_factor
+        arrivals.append(
+            JobArrival(
+                index=index,
+                job_id=f"{template.program.lower()}-{index:03d}",
+                program=template.program,
+                size=template.size,
+                arrival_s=t if spec.arrival_rate_per_min > 0 else 0.0,
+                config=config,
+                straggler_factor=straggler,
+            )
+        )
+
+    revocations = []
+    if spec.revocation_rate_per_min > 0:
+        revocation_rng = derive_rng("scenario.revocations", key, seed)
+        rt = 0.0
+        while True:
+            rt += float(
+                revocation_rng.exponential(60.0 / spec.revocation_rate_per_min)
+            )
+            if rt >= spec.revocation_horizon_s:
+                break
+            revocations.append(
+                Revocation(
+                    at_s=rt,
+                    slots=0,  # placeholder, resolved against the pool below
+                    duration_s=spec.revocation_duration_s,
+                )
+            )
+
+    return Trace(
+        spec=spec,
+        seed=seed,
+        arrivals=tuple(arrivals),
+        revocations=tuple(revocations),
+    )
+
+
+def resolve_revocations(
+    trace: Trace, slots: int
+) -> Tuple[Revocation, ...]:
+    """Bind a trace's revocation events to a concrete pool size.
+
+    The spec speaks in *fractions* of the pool; the runner knows the
+    pool's slot count (which may come from the cluster).  Purely
+    arithmetic — no randomness.
+    """
+    count = max(1, math.ceil(trace.spec.revocation_fraction * slots))
+    count = min(count, slots)
+    return tuple(replace(r, slots=count) for r in trace.revocations)

@@ -24,6 +24,15 @@ STAGE_COMPLETED = "stage.completed"
 STAGE_OOM_RETRY = "stage.oom_retry"
 RUN_SPAN = "sim.run"
 
+#: Event names the shared-cluster scenario layer emits
+#: (:mod:`repro.sparksim.scenario`): one per job-lifecycle transition,
+#: plus one per spot-node revocation, all under a ``scenario.run`` span.
+SCENARIO_JOB_ARRIVED = "scenario.job_arrived"
+SCENARIO_JOB_STARTED = "scenario.job_started"
+SCENARIO_JOB_FINISHED = "scenario.job_finished"
+SCENARIO_REVOCATION = "scenario.revocation"
+SCENARIO_SPAN = "scenario.run"
+
 
 def stage_event_fields(stage: "StageResult") -> Dict[str, object]:
     """The canonical field dict of one stage observation."""

@@ -342,6 +342,7 @@ service.work(poll_interval=0.02, idle_polls=50)
 """
 
 
+@pytest.mark.stress
 def test_sigkilled_worker_dead_and_reclaimed_under_half_ttl(tmp_path):
     """Kill a worker mid-collect on a 30 s lease: its heartbeat goes
     silent, other hosts see DEAD, and the job is reclaimed in a few

@@ -1,0 +1,168 @@
+"""Property-based tests for the shared-pool arrival/allocation layer.
+
+Hypothesis generates arbitrary job mixes, pool sizes, policies, and
+revocation schedules; the invariants hold for *all* of them:
+
+- the scheduler never grants more executors than the pool (or a job's
+  demand) at any instant,
+- every arrived job eventually starts and finishes, in order,
+- the pool's independently-accumulated busy time equals the sum of the
+  per-job busy times (work conservation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparksim.arrivals import FAIR, FIFO, Revocation
+from repro.sparksim.scenario import JobLoad, allocate, simulate
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+def loads_strategy(max_jobs: int = 6):
+    arrival = st.floats(min_value=0.0, max_value=60.0, **finite)
+    isolated = st.floats(min_value=0.5, max_value=120.0, **finite)
+    straggler = st.floats(min_value=1.0, max_value=2.5, **finite)
+    io = st.floats(min_value=0.0, max_value=1.0, **finite)
+    job = st.tuples(arrival, st.integers(1, 8), isolated, straggler, io)
+    return st.lists(job, min_size=1, max_size=max_jobs).map(
+        lambda rows: [
+            JobLoad(
+                job_id=f"job-{i:02d}",
+                arrival_s=a,
+                demand=d,
+                isolated_s=s,
+                straggler_factor=f,
+                io_fraction=o,
+            )
+            for i, (a, d, s, f, o) in enumerate(rows)
+        ]
+    )
+
+
+def revocations_strategy(max_events: int = 3):
+    event = st.tuples(
+        st.floats(min_value=0.0, max_value=120.0, **finite),
+        st.integers(1, 6),
+        st.floats(min_value=1.0, max_value=60.0, **finite),
+    )
+    return st.lists(event, max_size=max_events).map(
+        lambda rows: [
+            Revocation(at_s=t, slots=n, duration_s=d) for t, n, d in rows
+        ]
+    )
+
+
+scenario_strategy = st.fixed_dictionaries(
+    {
+        "loads": loads_strategy(),
+        "slots": st.integers(1, 12),
+        "policy": st.sampled_from((FIFO, FAIR)),
+        "revocations": revocations_strategy(),
+        "coefficient": st.floats(min_value=0.0, max_value=1.0, **finite),
+    }
+)
+
+
+def run(params):
+    observed = []
+    outcomes, pool_busy = simulate(
+        params["loads"],
+        params["slots"],
+        policy=params["policy"],
+        revocations=params["revocations"],
+        interference_coefficient=params["coefficient"],
+        observer=lambda kind, **fields: observed.append((kind, fields)),
+    )
+    return outcomes, pool_busy, observed
+
+
+class TestPoolInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(params=scenario_strategy)
+    def test_capacity_is_never_violated(self, params):
+        _, _, observed = run(params)
+        demands = {load.job_id: load.demand for load in params["loads"]}
+        allocs = [fields for kind, fields in observed if kind == "alloc"]
+        assert allocs
+        for fields in allocs:
+            assert 0 <= fields["capacity"] <= params["slots"]
+            assert sum(fields["grants"].values()) <= fields["capacity"]
+            for job_id, granted in fields["grants"].items():
+                assert 0 <= granted <= demands[job_id]
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=scenario_strategy)
+    def test_every_arrived_job_finishes(self, params):
+        outcomes, _, observed = run(params)
+        assert len(outcomes) == len(params["loads"])
+        arrivals = {load.job_id: load.arrival_s for load in params["loads"]}
+        for outcome in outcomes:
+            assert outcome.start_s >= arrivals[outcome.job_id]
+            assert outcome.finish_s >= outcome.start_s
+            assert math.isfinite(outcome.finish_s)
+            assert outcome.busy_executor_s >= 0.0
+        finished = {
+            fields["job"] for kind, fields in observed if kind == "finished"
+        }
+        assert finished == set(arrivals)
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=scenario_strategy)
+    def test_busy_time_is_conserved(self, params):
+        outcomes, pool_busy, _ = run(params)
+        total = sum(outcome.busy_executor_s for outcome in outcomes)
+        assert math.isclose(total, pool_busy, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=scenario_strategy)
+    def test_fifo_starts_in_arrival_order(self, params):
+        if params["policy"] != FIFO:
+            params = dict(params, policy=FIFO)
+        outcomes, _, _ = run(params)
+        # simulate() returns outcomes sorted by (arrival, job_id); under
+        # FIFO the start times must be non-decreasing along that order.
+        starts = [outcome.start_s for outcome in outcomes]
+        assert starts == sorted(starts)
+
+
+class TestAllocateProperties:
+    triples = st.lists(
+        st.tuples(st.integers(1, 10), st.booleans()), min_size=1, max_size=8
+    ).map(
+        lambda rows: [
+            (f"job-{i:02d}", demand, started)
+            for i, (demand, started) in enumerate(rows)
+        ]
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        jobs=triples,
+        capacity=st.integers(0, 12),
+        policy=st.sampled_from((FIFO, FAIR)),
+    )
+    def test_grants_are_bounded_and_total(self, jobs, capacity, policy):
+        grants = allocate(jobs, capacity, policy)
+        assert set(grants) == {job_id for job_id, _, _ in jobs}
+        assert sum(grants.values()) <= max(0, capacity)
+        for job_id, demand, _ in jobs:
+            assert 0 <= grants[job_id] <= demand
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        jobs=triples,
+        capacity=st.integers(1, 12),
+    )
+    def test_fair_leaves_no_slot_idle_while_someone_wants_one(
+        self, jobs, capacity
+    ):
+        grants = allocate(jobs, capacity, FAIR)
+        free = capacity - sum(grants.values())
+        if free > 0:
+            for job_id, demand, _ in jobs:
+                assert grants[job_id] == min(demand, capacity)

@@ -393,6 +393,7 @@ def _spawn(script: str, *args: str) -> subprocess.Popen:
     )
 
 
+@pytest.mark.stress
 def test_sigkill_worker_takeover_matches_uninterrupted(tmp_path):
     """SIGKILL worker 1 mid-collection; worker 2 takes the lease over
     (dead-pid detection, no TTL wait) and finishes from the checkpoint
@@ -448,6 +449,7 @@ def test_sigkill_worker_takeover_matches_uninterrupted(tmp_path):
     assert runs[2] < REQUEST["n_train"]
 
 
+@pytest.mark.stress
 def test_worker_drain_flag_sigterm_exits_zero(tmp_path):
     """``repro worker --drain`` + SIGTERM: the worker finishes the
     checkpoint in progress, releases the lease, and exits 0 with the
