@@ -15,11 +15,13 @@ improved by ``convergence_tol`` for ``patience`` consecutive trees.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.models.flat import FlatForest, accumulate, observe_predict, timed
+from repro.models.histkernel import observe_fit, resolve_fit_path
 from repro.models.metrics import mean_relative_error
 from repro.models.tree import BinnedDataset, RegressionTree
 
@@ -45,6 +47,11 @@ class GradientBoostedTrees:
     patience / convergence_tol:
         Convergence detector: stop when no ``convergence_tol`` improvement
         for ``patience`` trees.
+    fit_path:
+        Split-search implementation for every tree (see
+        :class:`~repro.models.tree.RegressionTree`); ``None`` defers to
+        :func:`repro.models.histkernel.resolve_fit_path`.  All paths
+        produce the byte-identical model.
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class GradientBoostedTrees:
         convergence_tol: float = 1e-4,
         min_samples_leaf: int = 5,
         random_state: int = 0,
+        fit_path: Optional[str] = None,
     ):
         if n_trees < 1:
             raise ValueError("n_trees must be >= 1")
@@ -76,6 +84,7 @@ class GradientBoostedTrees:
         self.convergence_tol = convergence_tol
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
+        self.fit_path = fit_path
 
         self._trees: List[RegressionTree] = []
         self._base: float = 0.0
@@ -106,6 +115,8 @@ class GradientBoostedTrees:
             raise ValueError("X and y length mismatch")
         if len(X) < 4:
             raise ValueError("need at least 4 samples")
+        fit_start = time.perf_counter()
+        path = resolve_fit_path(self.fit_path)
         rng = np.random.default_rng(self.random_state)
 
         n_val = max(1, int(round(len(X) * self.validation_fraction)))
@@ -117,7 +128,7 @@ class GradientBoostedTrees:
             np.exp(y[val_idx]) if measured is None else np.asarray(measured)[val_idx]
         )
 
-        self._binner = BinnedDataset(X_train)
+        self._binner = BinnedDataset.shared(X_train)
         val_codes = self._binner.bin_matrix(X[val_idx])
         self._base = float(np.mean(y_train))
         self._trees = []
@@ -137,6 +148,7 @@ class GradientBoostedTrees:
             tree = RegressionTree(
                 tree_complexity=self.tree_complexity,
                 min_samples_leaf=self.min_samples_leaf,
+                fit_path=path,
             )
             tree.fit_binned(self._binner, residual, sample_indices=sample)
             self._trees.append(tree)
@@ -159,6 +171,13 @@ class GradientBoostedTrees:
                 if stale >= self.patience:
                     self.stopped_reason_ = "converged"
                     break
+        observe_fit(
+            path,
+            "gbt",
+            time.perf_counter() - fit_start,
+            len(self._trees),
+            sum(len(t._nodes) for t in self._trees),
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -317,5 +336,7 @@ class GradientBoostedTrees:
     def __setstate__(self, state):
         self.__dict__.update(state)
         # Models pickled before the flat layer predate the cache slot;
-        # they rebuild the stacked table on first predict.
+        # they rebuild the stacked table on first predict.  Models
+        # pickled before the histogram kernel predate fit_path.
         self.__dict__.setdefault("_flat", None)
+        self.__dict__.setdefault("fit_path", None)

@@ -7,11 +7,13 @@ forests, in contrast with HM's tiny boosted trees.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.models.flat import FlatForest, accumulate, observe_predict, timed
+from repro.models.histkernel import observe_fit, resolve_fit_path
 from repro.models.tree import BinnedDataset, RegressionTree
 
 
@@ -36,6 +38,7 @@ class RandomForest:
         max_features: Optional[int] = None,
         min_samples_leaf: int = 3,
         random_state: int = 0,
+        fit_path: Optional[str] = None,
     ):
         if n_trees < 1:
             raise ValueError("n_trees must be >= 1")
@@ -44,6 +47,7 @@ class RandomForest:
         self.max_features = max_features
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
+        self.fit_path = fit_path
         self._trees: List[RegressionTree] = []
         self._binner: Optional[BinnedDataset] = None
         self._flat: Optional[FlatForest] = None
@@ -55,8 +59,10 @@ class RandomForest:
             raise ValueError("X and y length mismatch")
         if len(X) < 2:
             raise ValueError("need at least 2 samples")
+        fit_start = time.perf_counter()
+        path = resolve_fit_path(self.fit_path)
         rng = np.random.default_rng(self.random_state)
-        self._binner = BinnedDataset(X)
+        self._binner = BinnedDataset.shared(X)
         n, d = X.shape
         k = self.max_features or max(1, int(np.ceil(d / 3)))
         k = min(k, d)
@@ -70,9 +76,17 @@ class RandomForest:
                 min_samples_leaf=self.min_samples_leaf,
                 split_features=k,
                 random_state=self.random_state + 31 * t,
+                fit_path=path,
             )
             tree.fit_binned(self._binner, y, sample_indices=sample)
             self._trees.append(tree)
+        observe_fit(
+            path,
+            "rf",
+            time.perf_counter() - fit_start,
+            len(self._trees),
+            sum(len(t._nodes) for t in self._trees),
+        )
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -91,3 +105,4 @@ class RandomForest:
     def __setstate__(self, state):
         self.__dict__.update(state)
         self.__dict__.setdefault("_flat", None)
+        self.__dict__.setdefault("fit_path", None)

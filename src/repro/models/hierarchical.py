@@ -17,6 +17,7 @@ documented in DESIGN.md.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -24,6 +25,7 @@ from scipy.optimize import nnls
 
 from repro.models.boosting import GradientBoostedTrees
 from repro.models.flat import MergedBinner, observe_predict, timed
+from repro.models.histkernel import observe_fit, resolve_fit_path
 from repro.models.metrics import mean_relative_error
 from repro.telemetry import events as tele
 
@@ -67,6 +69,7 @@ class HierarchicalModel:
         patience: int = 200,
         random_state: int = 0,
         component_factory=None,
+        fit_path: Optional[str] = None,
     ):
         if max_order < 1:
             raise ValueError("max_order must be >= 1")
@@ -82,6 +85,9 @@ class HierarchicalModel:
         self.patience = patience
         self.random_state = random_state
         self.component_factory = component_factory
+        #: Split-search implementation forwarded to every GBT component
+        #: (see :class:`~repro.models.tree.RegressionTree`).
+        self.fit_path = fit_path
 
         self._components: List[object] = []
         self._weights: Optional[np.ndarray] = None
@@ -105,6 +111,16 @@ class HierarchicalModel:
         trains the independent per-order components concurrently; the
         resulting model is identical to a sequential fit (see
         :meth:`_fit_orders`).
+
+        Binning is shared where content allows: each component binds its
+        training split through :meth:`BinnedDataset.shared
+        <repro.models.tree.BinnedDataset.shared>`, so re-fitting the
+        same component (crash-resume, ablation sweeps, kernel-vs-
+        reference benchmarks) reuses the existing quantile edges and
+        codes instead of recomputing them.  Components of *different*
+        orders draw different internal train permutations, so their
+        matrices differ by construction — sharing across orders would
+        change the fitted model and is deliberately not attempted.
         """
         X, y = self._validate(X, y)
         self._components = []
@@ -159,6 +175,7 @@ class HierarchicalModel:
         checkpoint,
         engine=None,
     ) -> "HierarchicalModel":
+        fit_start = time.perf_counter()
         X_train, y_train, X_val, y_val, measured_val = self._split(X, y)
         self._merged = None
 
@@ -200,6 +217,17 @@ class HierarchicalModel:
                 checkpoint(self)
             if (1.0 - self.holdout_error_) >= self.target_accuracy:
                 break
+        observe_fit(
+            resolve_fit_path(self.fit_path),
+            "hm",
+            time.perf_counter() - fit_start,
+            sum(getattr(c, "n_trees_fitted", 0) for c in self._components),
+            sum(
+                len(t._nodes)
+                for c in self._components
+                for t in getattr(c, "_trees", [])
+            ),
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -246,6 +274,7 @@ class HierarchicalModel:
             validation_fraction=self.validation_fraction,
             patience=self.patience,
             random_state=self.random_state + 7919 * order,
+            fit_path=self.fit_path,
         )
 
     # ------------------------------------------------------------------
@@ -378,5 +407,7 @@ class HierarchicalModel:
     def __setstate__(self, state):
         self.__dict__.update(state)
         # Models pickled before the flat layer predate the merged-binner
-        # cache; it is rebuilt on first predict.
+        # cache; it is rebuilt on first predict.  Models pickled before
+        # the histogram kernel predate fit_path.
         self.__dict__.setdefault("_merged", None)
+        self.__dict__.setdefault("fit_path", None)

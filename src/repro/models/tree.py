@@ -10,17 +10,26 @@ next, so a budget of ``tc`` splits lands where it reduces error most.
 Split search uses pre-binned features (:class:`BinnedDataset`): binning
 is paid once per training set, after which each candidate split costs a
 bincount rather than a sort — essential when boosting fits thousands of
-trees (``nt`` up to 12 000 in Figure 8).
+trees (``nt`` up to 12 000 in Figure 8).  The per-node search itself
+runs through :mod:`repro.models.histkernel` — all features histogrammed
+in one flattened ``np.bincount``, both children of a committed split
+scored in one frontier batch — with the original per-feature Python
+loop kept verbatim as :meth:`RegressionTree._best_split_reference`;
+the kernel is bit-identical to it by construction (see the histkernel
+module docstring and DESIGN.md §17).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.models.histkernel import FrontierEvaluator, resolve_fit_path
 
 #: Default number of histogram bins per feature.
 DEFAULT_BINS = 64
@@ -100,6 +109,18 @@ def _matrix_cache_key(X: np.ndarray):
     return ("bytes", np.ascontiguousarray(X).tobytes())
 
 
+#: Bound on the process-wide shared-binner cache (entries).
+_SHARED_BINNER_CACHE_SIZE = 8
+
+#: (max_bins, shape, content key) -> BinnedDataset, LRU-ordered.
+_shared_binners: "OrderedDict[tuple, BinnedDataset]" = OrderedDict()
+
+
+def clear_shared_binners() -> None:
+    """Drop the process-wide :meth:`BinnedDataset.shared` cache."""
+    _shared_binners.clear()
+
+
 class BinnedDataset:
     """Feature matrix pre-binned for fast split search.
 
@@ -141,6 +162,37 @@ class BinnedDataset:
         self.codes = codes
         self.n_bins = np.array([len(e) + 1 for e in self.edges], dtype=np.int64)
         self._code_cache: Dict[object, np.ndarray] = {}
+
+    @classmethod
+    def shared(cls, X: np.ndarray, max_bins: int = DEFAULT_BINS) -> "BinnedDataset":
+        """A process-cached binner for this exact matrix content.
+
+        Quantile edges and codes depend only on ``(content, max_bins)``,
+        yet every Hierarchical Model component, crash-resume refit, and
+        ablation re-fit used to rebuild them from scratch.  This memo
+        returns the existing binner when the same matrix comes around
+        again.  The key includes the shape because the content key alone
+        is shape-ambiguous; matrices too large to key cheaply
+        (:func:`_matrix_cache_key` returns ``None``) are never cached.
+        Binners are immutable after construction, so sharing one across
+        models is safe.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            return cls(X, max_bins)
+        content = _matrix_cache_key(X)
+        if content is None:
+            return cls(X, max_bins)
+        key = (max_bins, X.shape, content)
+        cached = _shared_binners.get(key)
+        if cached is not None:
+            _shared_binners.move_to_end(key)
+            return cached
+        binner = cls(X, max_bins)
+        while len(_shared_binners) >= _SHARED_BINNER_CACHE_SIZE:
+            _shared_binners.popitem(last=False)
+        _shared_binners[key] = binner
+        return binner
 
     @classmethod
     def from_edges(
@@ -233,6 +285,13 @@ class RegressionTree:
     max_bins:
         Histogram resolution when the tree bins its own data; ignored
         when fitted through :meth:`fit_binned`.
+    fit_path:
+        Split-search implementation: ``numpy`` (histogram kernel),
+        ``numba`` (jitted kernel, falls back to ``numpy`` when numba is
+        absent), ``reference`` (the original per-feature loop), or
+        ``auto``/``None`` to defer to
+        :func:`repro.models.histkernel.resolve_fit_path`.  Every path
+        grows the byte-identical tree.
     """
 
     def __init__(
@@ -242,6 +301,7 @@ class RegressionTree:
         max_bins: int = DEFAULT_BINS,
         split_features: Optional[int] = None,
         random_state: int = 0,
+        fit_path: Optional[str] = None,
     ):
         if tree_complexity < 1:
             raise ValueError("tree_complexity must be >= 1")
@@ -256,6 +316,7 @@ class RegressionTree:
         #: every split (None = consider all features at each split).
         self.split_features = split_features
         self.random_state = random_state
+        self.fit_path = fit_path
         self._rng = np.random.default_rng(random_state)
         self._nodes: List[_Node] = []
         self._binner: Optional[BinnedDataset] = None
@@ -296,11 +357,88 @@ class RegressionTree:
             else np.asarray(feature_indices)
         )
 
+        if resolve_fit_path(self.fit_path) == "reference":
+            return self._fit_binned_reference(binner, y, idx, features)
+        return self._fit_binned_kernel(binner, y, idx, features)
+
+    def _fit_binned_kernel(
+        self,
+        binner: BinnedDataset,
+        y: np.ndarray,
+        idx: np.ndarray,
+        features: np.ndarray,
+    ) -> "RegressionTree":
+        """Best-first growth over the histogram kernel.
+
+        Structurally the reference loop with one change: a committed
+        split's two children are scored in a single
+        :meth:`FrontierEvaluator.evaluate_pair` batch (same heap, same
+        tie-break counter, same left-then-right RNG order), which is
+        what lets the kernel share one histogram pass per pair and
+        reuse parent counts.
+        """
+        evaluator = FrontierEvaluator(
+            binner,
+            y,
+            self.min_samples_leaf,
+            resolve_fit_path(self.fit_path),
+            self._rng,
+            self.split_features,
+            features,
+        )
         self._nodes = [_Node(value=float(np.mean(y[idx])))]
         # Best-first frontier: (-gain, tiebreak, node_id, idx, split_info)
         frontier: list = []
         counter = itertools.count()
-        first = self._best_split(binner, y, idx, features)
+        first = evaluator.evaluate(0, idx)
+        if first is not None:
+            heapq.heappush(frontier, (-first[0], next(counter), 0, idx, first))
+
+        splits_done = 0
+        while frontier and splits_done < self.tree_complexity:
+            neg_gain, _, node_id, node_idx, split = heapq.heappop(frontier)
+            gain, feature, bin_threshold, left_idx, right_idx = split
+            node = self._nodes[node_id]
+            node.feature = int(feature)
+            node.bin_threshold = int(bin_threshold)
+            node.threshold = binner.threshold(int(feature), int(bin_threshold))
+            node.left = len(self._nodes)
+            self._nodes.append(_Node(value=float(np.mean(y[left_idx]))))
+            node.right = len(self._nodes)
+            self._nodes.append(_Node(value=float(np.mean(y[right_idx]))))
+            splits_done += 1
+
+            left_split, right_split = evaluator.evaluate_pair(
+                node_id, node.left, left_idx, node.right, right_idx
+            )
+            for child_id, child_idx, child_split in (
+                (node.left, left_idx, left_split),
+                (node.right, right_idx, right_split),
+            ):
+                if child_split is not None:
+                    heapq.heappush(
+                        frontier,
+                        (-child_split[0], next(counter), child_id, child_idx, child_split),
+                    )
+        return self
+
+    def _fit_binned_reference(
+        self,
+        binner: BinnedDataset,
+        y: np.ndarray,
+        idx: np.ndarray,
+        features: np.ndarray,
+    ) -> "RegressionTree":
+        """The original one-node-at-a-time growth loop, kept verbatim.
+
+        Equivalence tests fit the same data through this path and the
+        kernel path and require byte-identical node tables.
+        """
+        self._nodes = [_Node(value=float(np.mean(y[idx])))]
+        # Best-first frontier: (-gain, tiebreak, node_id, idx, split_info)
+        frontier: list = []
+        counter = itertools.count()
+        first = self._best_split_reference(binner, y, idx, features)
         if first is not None:
             heapq.heappush(frontier, (-first[0], next(counter), 0, idx, first))
 
@@ -319,7 +457,7 @@ class RegressionTree:
             splits_done += 1
 
             for child_id, child_idx in ((node.left, left_idx), (node.right, right_idx)):
-                child_split = self._best_split(binner, y, child_idx, features)
+                child_split = self._best_split_reference(binner, y, child_idx, features)
                 if child_split is not None:
                     heapq.heappush(
                         frontier,
@@ -328,7 +466,7 @@ class RegressionTree:
         return self
 
     # ------------------------------------------------------------------
-    def _best_split(
+    def _best_split_reference(
         self,
         binner: BinnedDataset,
         y: np.ndarray,
@@ -338,7 +476,9 @@ class RegressionTree:
         """Best (gain, feature, bin, left_idx, right_idx) or None.
 
         Gain is the decrease in sum of squared errors from splitting,
-        computed from cumulative histogram sums.
+        computed from cumulative histogram sums.  This per-feature
+        Python loop is the semantic reference the histogram kernel must
+        match bit-for-bit.
         """
         n = len(idx)
         if n < 2 * self.min_samples_leaf:
@@ -440,5 +580,7 @@ class RegressionTree:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        # Trees pickled before the flat layer predate the cache slot.
+        # Trees pickled before the flat layer predate the cache slot;
+        # trees pickled before the histogram kernel predate fit_path.
         self.__dict__.setdefault("_flat", None)
+        self.__dict__.setdefault("fit_path", None)

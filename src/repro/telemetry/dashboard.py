@@ -151,7 +151,8 @@ class FleetDashboard:
         }
 
     def _engine_panel(self) -> Dict[str, object]:
-        """Cross-fleet engine health from ``engine.request`` events."""
+        """Cross-fleet engine health from ``engine.request`` events,
+        plus the modeling side from ``model.fit`` events."""
         requests = self.rollup.count("engine.request")
         hits = len([
             1
@@ -174,6 +175,12 @@ class FleetDashboard:
             "wall_p50": self.rollup.quantile(
                 "engine.request", "wall_seconds", 0.5
             ),
+            "fits": self.rollup.count("model.fit"),
+            "fit_seconds_p50": self.rollup.quantile("model.fit", "seconds", 0.5),
+            "fit_trees": int(
+                sum(v for _, v in self.rollup.values("model.fit", "trees"))
+            ),
+            "fit_path": self.rollup.last("model.fit", "path"),
         }
 
 
@@ -291,6 +298,12 @@ def render_snapshot(snap: Dict[str, object], color: bool = True) -> str:
         f"p99 {_fmt_opt(engine.get('queue_wait_p99'))}s   "
         f"run wall p50 {_fmt_opt(engine.get('wall_p50'))}s   "
         f"requests {engine.get('requests', 0)}"
+    )
+    lines.append(
+        f"  model fits {engine.get('fits', 0)}   "
+        f"fit p50 {_fmt_opt(engine.get('fit_seconds_p50'))}s   "
+        f"trees {engine.get('fit_trees', 0)}   "
+        f"path {engine.get('fit_path') or '-'}"
     )
     api = snap.get("api", {})
     lines.append("")

@@ -1,0 +1,339 @@
+"""Histogram-kernel fit path: equivalence, plumbing, sharing, telemetry.
+
+The kernel's contract is *byte identity* with the reference per-feature
+split search — same node tables, same leaf values, same RNG
+consumption — because report fingerprints, dedup, and crash-resume all
+assume fitted models are bit-stable.  These tests pin that contract on
+adversarial inputs, plus the fit-path resolution order, the shared
+binner cache, and the ``model.fit.*`` telemetry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import histkernel
+from repro.models.boosting import GradientBoostedTrees
+from repro.models.forest import RandomForest
+from repro.models.hierarchical import HierarchicalModel
+from repro.models.histkernel import (
+    FIT_PATH_ENV,
+    available_fit_paths,
+    numba_available,
+    observe_fit,
+    resolve_fit_path,
+    set_fit_path,
+    use_fit_path,
+)
+from repro.models.tree import (
+    BinnedDataset,
+    RegressionTree,
+    _shared_binners,
+    clear_shared_binners,
+)
+from repro.telemetry.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_binners():
+    clear_shared_binners()
+    yield
+    clear_shared_binners()
+
+
+def node_table(tree):
+    """Everything that defines the grown tree, bit-exact."""
+    structure = [
+        (n.feature, n.bin_threshold, n.left, n.right) for n in tree._nodes
+    ]
+    values = np.array(
+        [(n.value, n.threshold) for n in tree._nodes], dtype=float
+    ).tobytes()
+    return structure, values
+
+
+def fit_paths_pair(X, y, path, **kwargs):
+    ref = RegressionTree(fit_path="reference", **kwargs).fit(X, y)
+    alt = RegressionTree(fit_path=path, **kwargs).fit(X, y)
+    return ref, alt
+
+
+# ----------------------------------------------------------------------
+# Kernel == reference, adversarially
+# ----------------------------------------------------------------------
+class TestSplitEquivalence:
+    @given(
+        n=st.integers(min_value=4, max_value=90),
+        n_features=st.integers(min_value=1, max_value=9),
+        msl=st.integers(min_value=1, max_value=6),
+        tc=st.integers(min_value=1, max_value=9),
+        max_bins=st.integers(min_value=2, max_value=48),
+        seed=st.integers(min_value=0, max_value=10_000),
+        y_mode=st.sampled_from(["normal", "constant", "quantized"]),
+        mtry=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_kernel_grows_byte_identical_trees(
+        self, n, n_features, msl, tc, max_bins, seed, y_mode, mtry
+    ):
+        """Constant features, duplicated columns, degenerate targets,
+        min_samples_leaf boundaries, and mtry subsets with the same RNG
+        stream — the kernel must match the reference on all of them."""
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, n_features))
+        X[:, 0] = 0.5  # constant feature: zero-gain everywhere
+        if n_features >= 3:
+            X[:, -1] = X[:, 1]  # duplicated column: tie on every split
+        if y_mode == "constant":
+            y = np.full(n, 1.25)
+        elif y_mode == "quantized":
+            y = np.round(rng.normal(size=n), 1)  # mass ties in sums
+        else:
+            y = rng.normal(size=n)
+        kwargs = dict(
+            tree_complexity=tc,
+            min_samples_leaf=msl,
+            max_bins=max_bins,
+            split_features=max(1, n_features // 2) if mtry else None,
+            random_state=seed % 13,
+        )
+        ref, knl = fit_paths_pair(X, y, "numpy", **kwargs)
+        assert node_table(ref) == node_table(knl)
+        # Same mtry draws consumed in the same order.
+        assert ref._rng.bit_generator.state == knl._rng.bit_generator.state
+
+    @pytest.mark.parametrize("msl", [1, 2, 5])
+    @pytest.mark.parametrize("offset", [-1, 0, 1])
+    def test_min_samples_leaf_boundary(self, msl, offset):
+        """n = 2*msl is the smallest splittable node; one below must
+        leaf out identically on both paths."""
+        n = max(2, 2 * msl + offset)
+        rng = np.random.default_rng(msl * 10 + offset)
+        X = rng.random((n, 4))
+        y = rng.normal(size=n)
+        ref, knl = fit_paths_pair(
+            X, y, "numpy", tree_complexity=3, min_samples_leaf=msl
+        )
+        assert node_table(ref) == node_table(knl)
+
+    def test_all_equal_target_leafs_out(self):
+        X = np.random.default_rng(0).random((40, 5))
+        y = np.full(40, 3.0)
+        ref, knl = fit_paths_pair(X, y, "numpy", tree_complexity=5)
+        assert node_table(ref) == node_table(knl)
+        assert len(knl._nodes) == 1 and knl._nodes[0].is_leaf
+
+    def test_feature_subset_fit_binned(self):
+        """Non-identity feature_indices must not trip histogram reuse."""
+        rng = np.random.default_rng(5)
+        X = rng.random((60, 6))
+        y = rng.normal(size=60)
+        binner = BinnedDataset(X)
+        features = np.array([4, 1, 5])
+        ref = RegressionTree(fit_path="reference", tree_complexity=4)
+        ref.fit_binned(binner, y, feature_indices=features)
+        knl = RegressionTree(fit_path="numpy", tree_complexity=4)
+        knl.fit_binned(binner, y, feature_indices=features)
+        assert node_table(ref) == node_table(knl)
+        assert all(
+            n.feature in (4, 1, 5) for n in knl._nodes if not n.is_leaf
+        )
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_path_byte_identical(self):
+        rng = np.random.default_rng(11)
+        X = rng.random((120, 7))
+        X[:, 2] = 0.0
+        y = np.round(rng.normal(size=120), 1)
+        ref, jit = fit_paths_pair(
+            X, y, "numba", tree_complexity=7, min_samples_leaf=2
+        )
+        assert node_table(ref) == node_table(jit)
+
+
+# ----------------------------------------------------------------------
+# Fit-path resolution
+# ----------------------------------------------------------------------
+class TestFitPathResolution:
+    def test_auto_resolves_to_best_available(self):
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_fit_path(None) in available_fit_paths()
+        assert resolve_fit_path("auto") == expected
+
+    def test_explicit_argument_beats_context(self):
+        with use_fit_path("reference"):
+            assert resolve_fit_path("numpy") == "numpy"
+            assert resolve_fit_path(None) == "reference"
+
+    def test_context_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(FIT_PATH_ENV, "reference")
+        assert resolve_fit_path(None) == "reference"
+        with use_fit_path("numpy"):
+            assert resolve_fit_path(None) == "numpy"
+        assert resolve_fit_path(None) == "reference"
+
+    def test_numba_request_degrades_without_numba(self):
+        if numba_available():
+            assert resolve_fit_path("numba") == "numba"
+        else:
+            assert resolve_fit_path("numba") == "numpy"
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_fit_path("cython")
+        with pytest.raises(ValueError):
+            set_fit_path("fortran")
+
+    def test_context_restores_after_exception(self):
+        set_fit_path(None)
+        with pytest.raises(RuntimeError):
+            with use_fit_path("reference"):
+                raise RuntimeError("boom")
+        assert histkernel._path_override is None
+
+    def test_available_paths_always_include_fallbacks(self):
+        paths = available_fit_paths()
+        assert "reference" in paths and "numpy" in paths
+        assert ("numba" in paths) == numba_available()
+
+
+# ----------------------------------------------------------------------
+# Shared binner cache
+# ----------------------------------------------------------------------
+class TestSharedBinners:
+    def test_same_content_returns_same_object(self):
+        X = np.random.default_rng(0).random((50, 4))
+        assert BinnedDataset.shared(X) is BinnedDataset.shared(X.copy())
+
+    def test_max_bins_is_part_of_the_key(self):
+        X = np.random.default_rng(1).random((50, 4))
+        assert BinnedDataset.shared(X, 16) is not BinnedDataset.shared(X, 32)
+
+    def test_lru_eviction_is_bounded(self):
+        rng = np.random.default_rng(2)
+        matrices = [rng.random((20, 3)) for _ in range(12)]
+        binners = [BinnedDataset.shared(m) for m in matrices]
+        assert len(_shared_binners) == 8
+        # Oldest entries were evicted: re-requesting builds a new binner.
+        assert BinnedDataset.shared(matrices[0]) is not binners[0]
+        # Newest is still cached.
+        assert BinnedDataset.shared(matrices[-1]) is binners[-1]
+
+    def test_large_matrices_bypass_the_cache(self):
+        X = np.random.default_rng(3).random((500, 300))  # 1.2 MB > 1 MiB
+        a = BinnedDataset.shared(X)
+        b = BinnedDataset.shared(X)
+        assert a is not b
+        assert len(_shared_binners) == 0
+
+    def test_refit_reuses_the_binner(self):
+        rng = np.random.default_rng(4)
+        X, y = rng.random((60, 5)), rng.normal(size=60)
+        first = GradientBoostedTrees(n_trees=4, random_state=0).fit(X, y)
+        second = GradientBoostedTrees(n_trees=4, random_state=0).fit(X, y)
+        assert second._binner is first._binner
+
+    def test_clear_empties_the_cache(self):
+        BinnedDataset.shared(np.random.default_rng(5).random((30, 3)))
+        assert len(_shared_binners) == 1
+        clear_shared_binners()
+        assert len(_shared_binners) == 0
+
+
+# ----------------------------------------------------------------------
+# Ensemble models across paths
+# ----------------------------------------------------------------------
+class TestEnsemblesBitwiseAcrossPaths:
+    def _data(self, seed, n=90, d=6):
+        rng = np.random.default_rng(seed)
+        return rng.random((n, d)), rng.normal(size=n)
+
+    def test_gbt_predictions_identical(self):
+        X, y = self._data(20)
+        probe = np.random.default_rng(21).random((40, 6))
+        outs = {}
+        for path in available_fit_paths():
+            with use_fit_path(path):
+                model = GradientBoostedTrees(n_trees=12, random_state=1).fit(X, y)
+            outs[path] = model.predict(probe).tobytes()
+        assert len(set(outs.values())) == 1, sorted(outs)
+
+    def test_random_forest_predictions_identical(self):
+        X, y = self._data(22)
+        probe = np.random.default_rng(23).random((40, 6))
+        outs = {}
+        for path in available_fit_paths():
+            with use_fit_path(path):
+                model = RandomForest(n_trees=10, random_state=2).fit(X, y)
+            outs[path] = model.predict(probe).tobytes()
+        assert len(set(outs.values())) == 1, sorted(outs)
+
+    def test_hierarchical_model_predictions_identical(self):
+        X, y = self._data(24, n=120)
+        probe = np.random.default_rng(25).random((40, 6))
+        outs = {}
+        for path in available_fit_paths():
+            with use_fit_path(path):
+                model = HierarchicalModel(
+                    n_trees=10, target_accuracy=0.999, max_order=2,
+                    random_state=3,
+                ).fit(X, y)
+            outs[path] = model.predict(probe).tobytes()
+        assert len(set(outs.values())) == 1, sorted(outs)
+
+
+# ----------------------------------------------------------------------
+# Fit telemetry
+# ----------------------------------------------------------------------
+class TestFitTelemetry:
+    def test_observe_fit_records_labeled_metrics(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            observe_fit("numpy", "gbt", 0.25, trees=30, nodes=330)
+            snap = registry.snapshot()
+            assert snap.counters["model.fit.trees{model=gbt,path=numpy}"] == 30
+            assert snap.counters["model.fit.nodes{model=gbt,path=numpy}"] == 330
+            hist = snap.histograms["model.fit.seconds{model=gbt,path=numpy}"]
+            assert hist.count == 1
+        finally:
+            set_registry(previous)
+
+    def test_gbt_fit_emits_metrics(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            rng = np.random.default_rng(30)
+            with use_fit_path("numpy"):
+                model = GradientBoostedTrees(n_trees=6, random_state=0).fit(
+                    rng.random((50, 4)), rng.normal(size=50)
+                )
+            snap = registry.snapshot()
+            key = "model.fit.trees{model=gbt,path=numpy}"
+            assert snap.counters[key] == model.n_trees_fitted
+            nodes = sum(len(t._nodes) for t in model._trees)
+            assert snap.counters["model.fit.nodes{model=gbt,path=numpy}"] == nodes
+        finally:
+            set_registry(previous)
+
+    def test_hm_fit_emits_metrics_with_hm_label(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            rng = np.random.default_rng(31)
+            with use_fit_path("numpy"):
+                HierarchicalModel(
+                    n_trees=6, target_accuracy=0.5, max_order=1, random_state=0
+                ).fit(rng.random((60, 4)), rng.normal(size=60))
+            snap = registry.snapshot()
+            keys = [k for k in snap.histograms if k.startswith("model.fit.seconds")]
+            assert any("model=hm" in k for k in keys), keys
+        finally:
+            set_registry(previous)
+
+    def test_fit_runs_cleanly_without_a_registry(self):
+        rng = np.random.default_rng(32)
+        GradientBoostedTrees(n_trees=3, random_state=0).fit(
+            rng.random((40, 3)), rng.normal(size=40)
+        )
